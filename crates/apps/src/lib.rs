@@ -1,0 +1,28 @@
+//! The paper's §8 applications, built on the migration mechanism:
+//!
+//! * [`checkpoint`] — periodic snapshots of a long-running process, with
+//!   copies of its open files for a consistent restore at the n-th
+//!   checkpoint;
+//! * [`loadbal`] — a load balancer that moves long-running CPU-bound
+//!   jobs from busy machines to idle ones;
+//! * [`nightbatch`] — the "CPU hogs" day/night scheduler: jobs are kept
+//!   stopped (or on one machine) during the day and spread across the
+//!   network at night;
+//! * [`migrated`] — `migrate` rebuilt on the §6.4 daemon proposal
+//!   instead of `rsh`, for the A1 ablation.
+//!
+//! The paper lists these as applications one *could* build ("another
+//! interesting subject for future work is to implement one of the
+//! applications described in Section 8"); implementing them is part of
+//! this reproduction's extension scope, and the ablation benches measure
+//! them.
+
+pub mod checkpoint;
+pub mod loadbal;
+pub mod migrated;
+pub mod nightbatch;
+
+pub use checkpoint::{restore_checkpoint, run_checkpointer, CheckpointPlan, CheckpointRecord};
+pub use loadbal::{LoadBalancer, MigrationRecord};
+pub use migrated::migrate_via_daemon;
+pub use nightbatch::NightBatch;

@@ -1,0 +1,67 @@
+//! Criterion benchmarks: one per paper figure (host-time profile of the
+//! scenario that regenerates it) plus the ablations.
+//!
+//! The *simulated-time* series the paper plots come from the `figures`
+//! binary; these benchmarks track how expensive the scenarios themselves
+//! are to run, guarding the simulator's performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1_syscalls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("open_close_overhead", |b| {
+        b.iter(|| black_box(bench::fig1()))
+    });
+    g.finish();
+}
+
+fn bench_fig2_dump(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("sigquit_sigdump_dumpproc", |b| {
+        b.iter(|| black_box(bench::fig2()))
+    });
+    g.finish();
+}
+
+fn bench_fig3_restart(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("execve_restproc_restart", |b| {
+        b.iter(|| black_box(bench::fig3()))
+    });
+    g.finish();
+}
+
+fn bench_fig4_migrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("migrate_all_placements", |b| {
+        b.iter(|| black_box(bench::fig4()))
+    });
+    g.finish();
+}
+
+fn bench_ablation_daemon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("daemon_vs_rsh", |b| {
+        b.iter(|| black_box(bench::ablation_daemon()))
+    });
+    g.bench_function("name_strings", |b| {
+        b.iter(|| black_box(bench::ablation_names()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1_syscalls,
+    bench_fig2_dump,
+    bench_fig3_restart,
+    bench_fig4_migrate,
+    bench_ablation_daemon,
+);
+criterion_main!(figures);

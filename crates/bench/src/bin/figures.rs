@@ -1,0 +1,191 @@
+//! Regenerates every figure of the paper's evaluation (§6) and the
+//! DESIGN.md ablations, printing the same series the paper plots.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures                 # everything
+//! figures fig1 fig4       # selected experiments
+//! figures --json          # machine-readable output (EXPERIMENTS.md)
+//! ```
+
+use bench::scenarios;
+
+fn hr(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+fn run_fig1(json: bool) {
+    let rows = scenarios::fig1();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    hr("Figure 1: performance of modified system calls (system CPU per op)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8} {:>8}",
+        "syscall", "orig (ms)", "mod (ms)", "ratio", "paper"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>8.2} {:>8.2}",
+            r.syscall, r.original_ms, r.modified_ms, r.ratio, r.paper_ratio
+        );
+    }
+}
+
+fn run_fig2(json: bool) {
+    let rows = scenarios::fig2();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    hr("Figure 2: SIGQUIT vs SIGDUMP vs dumpproc (normalised to SIGQUIT)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10}",
+        "case", "cpu (ms)", "real (ms)", "cpu x", "real x", "paper cpu", "paper real"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>8.2} {:>10.1} {:>10.1}",
+            r.case,
+            r.cpu_ms,
+            r.real_ms,
+            r.cpu_ratio,
+            r.real_ratio,
+            r.paper_cpu_ratio,
+            r.paper_real_ratio
+        );
+    }
+}
+
+fn run_fig3(json: bool) {
+    let rows = scenarios::fig3();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    hr("Figure 3: execve vs rest_proc vs restart (normalised to execve)");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10}",
+        "case", "cpu (ms)", "real (ms)", "cpu x", "real x", "paper cpu", "paper real"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>8.2} {:>8.2} {:>10.1} {:>10.1}",
+            r.case,
+            r.cpu_ms,
+            r.real_ms,
+            r.cpu_ratio,
+            r.real_ratio,
+            r.paper_cpu_ratio,
+            r.paper_real_ratio
+        );
+    }
+}
+
+fn run_fig4(json: bool) {
+    let rows = scenarios::fig4();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    hr("Figure 4: migrate real time vs dumpproc+restart (=1)");
+    println!(
+        "{:<18} {:>12} {:>8} {:>8}",
+        "case", "real (ms)", "ratio", "paper"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>12.0} {:>8.2} {:>8.1}",
+            r.case, r.real_ms, r.ratio, r.paper_ratio
+        );
+    }
+}
+
+fn run_ablations(json: bool) {
+    let daemon = scenarios::ablation_daemon();
+    let virt = scenarios::ablation_virt();
+    let names = scenarios::ablation_names();
+    let ckpt = scenarios::ablation_checkpoint();
+    let loadbal = scenarios::ablation_loadbal();
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "daemon": daemon,
+                "virtualization": virt,
+                "name_strings": names,
+                "checkpoint": ckpt,
+                "loadbal": loadbal,
+            })
+        );
+        return;
+    }
+    hr("A1: remote-remote migrate transport");
+    for r in &daemon {
+        println!("{:<8} {:>12.0} ms", r.transport, r.real_ms);
+    }
+    hr("A2: pid-dependent program after migration (0 = survives)");
+    for r in &virt {
+        println!("{:<12} status {}", r.kernel, r.status);
+    }
+    hr("A3: kernel memory for open-file name strings");
+    for r in &names {
+        println!("{:<18} {:>10} bytes peak", r.strategy, r.peak_bytes);
+    }
+    hr("A4: checkpoint interval sweep (hog job)");
+    println!(
+        "{:<12} {:>14} {:>10} {:>16}",
+        "interval", "completion", "overhead", "expected loss"
+    );
+    for r in &ckpt {
+        println!(
+            "{:<12} {:>12.0}ms {:>9.1}% {:>14.0}ms",
+            if r.interval_ms == 0 {
+                "none".to_string()
+            } else {
+                format!("{}ms", r.interval_ms)
+            },
+            r.completion_ms,
+            r.overhead * 100.0,
+            r.expected_loss_ms
+        );
+    }
+    hr("A5: load balancing (6 hogs, 3 machines)");
+    for r in &loadbal {
+        println!(
+            "{:<12} makespan {:>10.0} ms, {} migrations",
+            r.policy, r.makespan_ms, r.migrations
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let picks: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = picks.is_empty();
+    let want = |name: &str| all || picks.contains(&name);
+
+    if want("fig1") {
+        run_fig1(json);
+    }
+    if want("fig2") {
+        run_fig2(json);
+    }
+    if want("fig3") {
+        run_fig3(json);
+    }
+    if want("fig4") {
+        run_fig4(json);
+    }
+    if all || picks.iter().any(|p| p.starts_with("ablation")) {
+        run_ablations(json);
+    }
+}

@@ -1,0 +1,221 @@
+//! `simsh` — a line-oriented driver for the simulated installation.
+//!
+//! Reads commands from stdin (scriptable through a pipe), letting you
+//! boot machines, run the paper's workloads, type at their terminals and
+//! migrate them by hand:
+//!
+//! ```text
+//! $ cargo run -p bench --bin simsh <<'EOF'
+//! boot brick
+//! boot schooner
+//! install brick /bin/testprog testprog
+//! spawn brick /bin/testprog
+//! run 50000
+//! type 0 hello world
+//! run 50000
+//! screen 0
+//! dumpproc brick 2
+//! restart schooner 2 brick
+//! run 100000
+//! ps schooner
+//! EOF
+//! ```
+//!
+//! Commands: `boot <host> [isa2]`, `install <host> <path> <workload>`,
+//! `spawn <host> <path>`, `type <tty> <text>`, `keys <tty> <chars>`,
+//! `eof <tty>`, `screen <tty>`, `run <slices>`, `ps <host>`,
+//! `time <host>`, `dumpproc <host> <pid>`, `restart <host> <pid>
+//! [dumphost]`, `migrate <pid> <from> <to> [cmdhost]`, `cat <host>
+//! <path>`, `help`, `quit`. Workloads: `testprog`, `editor`, `pidprog`,
+//! `envprog`, `waiter`, `hog:<rounds>`, `openclose:<n>`, `chdir:<n>`.
+
+use std::io::BufRead;
+
+use m68vm::{assemble, IsaLevel};
+use pmig::commands::RestartArgs;
+use pmig::{api, workloads};
+use sysdefs::{Credentials, Gid, Pid, Uid};
+use ukernel::{KernelConfig, World};
+
+fn user() -> Credentials {
+    Credentials::user(Uid(100), Gid(10))
+}
+
+fn workload_source(name: &str) -> Option<String> {
+    if let Some(rounds) = name.strip_prefix("hog:") {
+        return Some(workloads::cpu_hog_program(rounds.parse().ok()?));
+    }
+    if let Some(n) = name.strip_prefix("openclose:") {
+        return Some(workloads::openclose_program(n.parse().ok()?));
+    }
+    if let Some(n) = name.strip_prefix("chdir:") {
+        return Some(workloads::chdir_program(n.parse().ok()?));
+    }
+    Some(
+        match name {
+            "testprog" => workloads::TEST_PROGRAM,
+            "editor" => workloads::EDITOR_PROGRAM,
+            "pidprog" => workloads::PID_TEMPFILE_PROGRAM,
+            "envprog" => workloads::ENV_DEPENDENT_PROGRAM,
+            "waiter" => workloads::WAITING_PARENT_PROGRAM,
+            _ => return None,
+        }
+        .to_string(),
+    )
+}
+
+const HELP: &str = "\
+commands:
+  boot <host> [isa2]              add a machine (default ISA-1 / 68010)
+  install <host> <path> <wl>      assemble a workload onto a machine
+  spawn <host> <path>             start a program on a fresh terminal
+  run <slices>                    advance the simulation
+  type <tty> <text...>            type a line at a terminal
+  keys <tty> <chars>              type raw characters (no newline)
+  eof <tty>                       close a terminal (EOF to readers)
+  screen <tty>                    show what a terminal displays
+  ps <host>                       process listing
+  time <host>                     the machine's virtual clock
+  cat <host> <path>               print a file
+  dumpproc <host> <pid>           run dumpproc there
+  restart <host> <pid> [dumphost] run restart there (new terminal)
+  migrate <pid> <from> <to> [on]  run the migrate command
+  help                            this text
+  quit                            leave
+workloads: testprog editor pidprog envprog waiter hog:<n> openclose:<n> chdir:<n>";
+
+fn main() {
+    let mut world = World::new(KernelConfig::paper());
+    let stdin = std::io::stdin();
+    println!("simsh — simulated Sun UNIX 3.0 with process migration. `help` lists commands.");
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let result = dispatch(&mut world, &parts);
+        if let Err(msg) = result {
+            println!("error: {msg}");
+        }
+        if parts[0] == "quit" {
+            break;
+        }
+    }
+}
+
+fn machine_by_name(world: &World, name: &str) -> Result<usize, String> {
+    world
+        .find_machine(name)
+        .ok_or_else(|| format!("no machine `{name}` (boot it first)"))
+}
+
+fn dispatch(world: &mut World, parts: &[&str]) -> Result<(), String> {
+    match parts {
+        ["help"] => println!("{HELP}"),
+        ["quit"] => {}
+        ["boot", name] | ["boot", name, "isa1"] => {
+            let id = world.add_machine(name, IsaLevel::Isa1);
+            println!("machine {id}: {name} (68010), NFS-mounted as /n/{name}");
+        }
+        ["boot", name, "isa2"] => {
+            let id = world.add_machine(name, IsaLevel::Isa2);
+            println!("machine {id}: {name} (68020), NFS-mounted as /n/{name}");
+        }
+        ["install", host, path, wl] => {
+            let m = machine_by_name(world, host)?;
+            let src = workload_source(wl).ok_or_else(|| format!("unknown workload `{wl}`"))?;
+            let obj = assemble(&src).map_err(|e| e.to_string())?;
+            world
+                .install_program(m, path, &obj)
+                .map_err(|e| e.to_string())?;
+            println!("installed {wl} as {host}:{path}");
+        }
+        ["spawn", host, path] => {
+            let m = machine_by_name(world, host)?;
+            let (tty, _handle) = world.add_terminal(m);
+            let pid = world
+                .spawn_vm_proc(m, path, Some(tty), user())
+                .map_err(|e| e.to_string())?;
+            println!("pid {pid} on {host}, terminal tty{tty}");
+        }
+        ["run", n] => {
+            let n: u64 = n.parse().map_err(|_| "bad slice count".to_string())?;
+            let outcome = world.run_slices(n);
+            println!("ran ({outcome:?})");
+        }
+        ["type", tty, rest @ ..] => {
+            let tty: u32 = tty.parse().map_err(|_| "bad tty".to_string())?;
+            world
+                .terminal(tty)
+                .type_input(&format!("{}\n", rest.join(" ")));
+            println!("typed");
+        }
+        ["keys", tty, chars] => {
+            let tty: u32 = tty.parse().map_err(|_| "bad tty".to_string())?;
+            world.terminal(tty).type_input(chars);
+            println!("typed raw");
+        }
+        ["eof", tty] => {
+            let tty: u32 = tty.parse().map_err(|_| "bad tty".to_string())?;
+            world.terminal(tty).with(|t| t.close());
+            println!("closed");
+        }
+        ["screen", tty] => {
+            let tty: u32 = tty.parse().map_err(|_| "bad tty".to_string())?;
+            println!("--- tty{tty} ---");
+            print!("{}", world.terminal(tty).output_text());
+            println!("\n---------------");
+        }
+        ["ps", host] => {
+            let m = machine_by_name(world, host)?;
+            print!("{}", world.ps(m));
+        }
+        ["time", host] => {
+            let m = machine_by_name(world, host)?;
+            println!("{}", world.machine(m).now);
+        }
+        ["cat", host, path] => {
+            let m = machine_by_name(world, host)?;
+            let bytes = world.host_read_file(m, path).map_err(|e| e.to_string())?;
+            println!("{}", String::from_utf8_lossy(&bytes));
+        }
+        ["dumpproc", host, pid] => {
+            let m = machine_by_name(world, host)?;
+            let pid = Pid(pid.parse().map_err(|_| "bad pid".to_string())?);
+            let status = api::run_dumpproc(world, m, pid, user()).map_err(|e| e.to_string())?;
+            if status == 0 {
+                let names = dumpfmt::dump_file_names(pid);
+                println!("dumped: {} {} {}", names.a_out, names.files, names.stack);
+            } else {
+                println!("dumpproc failed with status {status}");
+            }
+        }
+        ["restart", host, pid] | ["restart", host, pid, _] => {
+            let m = machine_by_name(world, host)?;
+            let dump_host = parts.get(3).map(|s| s.to_string());
+            let pid = Pid(pid.parse().map_err(|_| "bad pid".to_string())?);
+            let (tty, _handle) = world.add_terminal(m);
+            let new_pid =
+                api::run_restart(world, m, RestartArgs { pid, dump_host }, Some(tty), user())
+                    .map_err(|e| e.to_string())?;
+            println!("restored as pid {new_pid} on {host}, terminal tty{tty}");
+        }
+        ["migrate", pid, from, to] | ["migrate", pid, from, to, _] => {
+            let from_m = machine_by_name(world, from)?;
+            let to_m = machine_by_name(world, to)?;
+            let cmd_m = match parts.get(4) {
+                Some(h) => machine_by_name(world, h)?,
+                None => to_m,
+            };
+            let pid = Pid(pid.parse().map_err(|_| "bad pid".to_string())?);
+            let (tty, _handle) = world.add_terminal(cmd_m);
+            let new_pid = api::migrate_process(world, pid, from_m, to_m, cmd_m, Some(tty), user())
+                .map_err(|e| e.to_string())?;
+            println!("migrated: now pid {new_pid} on {to}");
+        }
+        _ => return Err(format!("unknown command `{}` (try help)", parts.join(" "))),
+    }
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! The evaluation harness: every figure in the paper's §6, plus the
+//! ablations from DESIGN.md, as reusable scenario functions.
+//!
+//! Each `figN()` function builds a fresh world, runs the paper's §6
+//! measurement procedure, and returns the series the paper plots —
+//! simulated milliseconds and the normalised ratios. The `figures`
+//! binary prints them (and JSON for EXPERIMENTS.md); the criterion
+//! benches re-run them under the host-time profiler.
+
+pub mod scenarios;
+
+pub use scenarios::{
+    ablation_checkpoint, ablation_daemon, ablation_loadbal, ablation_names, ablation_virt, fig1,
+    fig2, fig3, fig4, Fig1Row, Fig2Row, Fig3Row, Fig4Row,
+};

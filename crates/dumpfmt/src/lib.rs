@@ -1,0 +1,138 @@
+//! The `SIGDUMP` dump-file formats.
+//!
+//! When a process receives `SIGDUMP` the kernel writes three files into
+//! `/usr/tmp`, "named `a.outXXXXX`, `filesXXXXX` and `stackXXXXX`, where
+//! `XXXXX` is the process id of the dumped process":
+//!
+//! * **`a.outXXXXX`** — an ordinary executable (see the `aout` crate);
+//! * **`filesXXXXX`** ([`FilesFile`], magic octal **445**) — "all the
+//!   information that is not needed by the kernel to restart the process,
+//!   but must be used at user level": host name, current working
+//!   directory, the fixed-size open-file table (file/socket/unused per
+//!   entry, with path, access flags and offset for files) and the
+//!   terminal flags;
+//! * **`stackXXXXX`** ([`StackFile`], magic octal **444**) — "all the
+//!   information that is required by the kernel": user credentials, the
+//!   stack size and contents, the registers, and the signal dispositions.
+//!
+//! Both formats are binary, big-endian, and validated by magic number
+//! exactly as `restart` checks them.
+
+pub mod files_file;
+pub mod naming;
+pub mod stack_file;
+
+pub use files_file::{FdRecord, FilesFile, FILES_MAGIC};
+pub use naming::{dump_file_names, DumpFileNames};
+pub use stack_file::{SignalState, StackFile, STACK_MAGIC};
+
+/// A dump-file decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DumpError {
+    /// The file ended before its own structure did.
+    Truncated,
+    /// The magic number did not match.
+    BadMagic {
+        /// The magic the format requires.
+        expected: u16,
+        /// The magic found in the file.
+        got: u16,
+    },
+    /// A structural field held an impossible value.
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for DumpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DumpError::Truncated => write!(f, "dump file truncated"),
+            DumpError::BadMagic { expected, got } => {
+                write!(f, "bad magic: expected {expected:#o}, got {got:#o}")
+            }
+            DumpError::Malformed(what) => write!(f, "malformed dump file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DumpError {}
+
+/// Little codec helpers shared by the two formats.
+pub(crate) mod wire {
+    use super::DumpError;
+
+    pub struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+            Reader { bytes, pos: 0 }
+        }
+
+        pub fn u8(&mut self) -> Result<u8, DumpError> {
+            let b = *self.bytes.get(self.pos).ok_or(DumpError::Truncated)?;
+            self.pos += 1;
+            Ok(b)
+        }
+
+        pub fn u16(&mut self) -> Result<u16, DumpError> {
+            let s = self
+                .bytes
+                .get(self.pos..self.pos + 2)
+                .ok_or(DumpError::Truncated)?;
+            self.pos += 2;
+            Ok(u16::from_be_bytes([s[0], s[1]]))
+        }
+
+        pub fn u32(&mut self) -> Result<u32, DumpError> {
+            let s = self
+                .bytes
+                .get(self.pos..self.pos + 4)
+                .ok_or(DumpError::Truncated)?;
+            self.pos += 4;
+            Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+        }
+
+        pub fn u64(&mut self) -> Result<u64, DumpError> {
+            let hi = self.u32()? as u64;
+            let lo = self.u32()? as u64;
+            Ok((hi << 32) | lo)
+        }
+
+        pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DumpError> {
+            let s = self
+                .bytes
+                .get(self.pos..self.pos + n)
+                .ok_or(DumpError::Truncated)?;
+            self.pos += n;
+            Ok(s)
+        }
+
+        pub fn string(&mut self) -> Result<String, DumpError> {
+            let n = self.u16()? as usize;
+            let s = self.bytes(n)?;
+            Ok(String::from_utf8_lossy(s).into_owned())
+        }
+    }
+
+    pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        put_u32(out, (v >> 32) as u32);
+        put_u32(out, v as u32);
+    }
+
+    pub fn put_string(out: &mut Vec<u8>, s: &str) {
+        let bytes = s.as_bytes();
+        let n = bytes.len().min(u16::MAX as usize);
+        put_u16(out, n as u16);
+        out.extend_from_slice(&bytes[..n]);
+    }
+}

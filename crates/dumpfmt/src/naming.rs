@@ -1,0 +1,44 @@
+//! The dump files' naming convention.
+
+use sysdefs::limits::DUMP_DIR;
+use sysdefs::Pid;
+
+/// The three absolute path names of a process's dump files.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DumpFileNames {
+    /// `/usr/tmp/a.outXXXXX` — the executable image.
+    pub a_out: String,
+    /// `/usr/tmp/filesXXXXX` — the user-level restart information.
+    pub files: String,
+    /// `/usr/tmp/stackXXXXX` — the kernel-level restart information.
+    pub stack: String,
+}
+
+/// Names the dump files for `pid`, "where `XXXXX` is the process id of
+/// the dumped process".
+pub fn dump_file_names(pid: Pid) -> DumpFileNames {
+    DumpFileNames {
+        a_out: format!("{DUMP_DIR}/a.out{:05}", pid.as_u32()),
+        files: format!("{DUMP_DIR}/files{:05}", pid.as_u32()),
+        stack: format!("{DUMP_DIR}/stack{:05}", pid.as_u32()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_the_paper() {
+        let n = dump_file_names(Pid(1234));
+        assert_eq!(n.a_out, "/usr/tmp/a.out01234");
+        assert_eq!(n.files, "/usr/tmp/files01234");
+        assert_eq!(n.stack, "/usr/tmp/stack01234");
+    }
+
+    #[test]
+    fn wide_pids_extend_the_field() {
+        let n = dump_file_names(Pid(1234567));
+        assert_eq!(n.a_out, "/usr/tmp/a.out1234567");
+    }
+}

@@ -1,0 +1,103 @@
+//! A disassembler, used by debugging tools and the `undump` inspector.
+
+use crate::encode::{decode, CodecError};
+use crate::isa::Instr;
+
+/// Disassembles one instruction at the front of `bytes`.
+///
+/// Returns the rendered instruction text and the number of bytes consumed.
+pub fn disassemble_one(bytes: &[u8]) -> Result<(String, u32), CodecError> {
+    let (instr, n) = decode(bytes)?;
+    Ok((instr.to_string(), n))
+}
+
+/// Disassembles a whole text segment, one line per instruction, with
+/// addresses starting at `base`.
+///
+/// Decoding stops at the first undecodable word (data embedded in text)
+/// and reports how far it got.
+pub fn disassemble_all(bytes: &[u8], base: u32) -> (Vec<String>, u32) {
+    let mut lines = Vec::new();
+    let mut off = 0u32;
+    while (off as usize) < bytes.len() {
+        match decode(&bytes[off as usize..]) {
+            Ok((instr, n)) => {
+                lines.push(format!("{:08x}: {}", base + off, instr));
+                off += n;
+            }
+            Err(_) => break,
+        }
+    }
+    (lines, off)
+}
+
+/// Re-parses a rendered instruction (useful in tests: the display form of
+/// every instruction is valid assembler input).
+pub fn reassemble_line(line: &str) -> Option<Instr> {
+    let src = format!("start: {line}\n");
+    let obj = crate::asm::assemble(&src).ok()?;
+    decode(&obj.text).ok().map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_all;
+    use crate::isa::{Instr, Op, Operand, Size};
+
+    #[test]
+    fn one_instruction() {
+        let i = Instr::new(Op::Move, Size::Long, Operand::Imm(7), Operand::DReg(2));
+        let bytes = encode_all(&[i]);
+        let (text, n) = disassemble_one(&bytes).unwrap();
+        assert_eq!(text, "move.l #7, d2");
+        assert_eq!(n as usize, bytes.len());
+    }
+
+    #[test]
+    fn whole_segment_with_addresses() {
+        let instrs = [
+            Instr::new(Op::Nop, Size::Long, Operand::None, Operand::None),
+            Instr::new(Op::Rts, Size::Long, Operand::None, Operand::None),
+        ];
+        let bytes = encode_all(&instrs);
+        let (lines, consumed) = disassemble_all(&bytes, 0x1000);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("00001000: nop"));
+        assert!(lines[1].starts_with("00001004: rts"));
+        assert_eq!(consumed as usize, bytes.len());
+    }
+
+    #[test]
+    fn stops_at_garbage() {
+        let mut bytes = encode_all(&[Instr::new(
+            Op::Nop,
+            Size::Long,
+            Operand::None,
+            Operand::None,
+        )]);
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff]);
+        let (lines, consumed) = disassemble_all(&bytes, 0);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(consumed, 4);
+    }
+
+    #[test]
+    fn display_form_reassembles() {
+        for i in [
+            Instr::new(
+                Op::Move,
+                Size::Byte,
+                Operand::PostInc(2),
+                Operand::PreDec(3),
+            ),
+            Instr::new(Op::Add, Size::Long, Operand::DReg(0), Operand::Ind(4)),
+            Instr::new(Op::Trap, Size::Long, Operand::Imm(0), Operand::None),
+            Instr::new(Op::Lsr, Size::Word, Operand::Imm(3), Operand::DReg(6)),
+        ] {
+            let rendered = i.to_string();
+            let back = reassemble_line(&rendered).unwrap_or_else(|| panic!("reparse {rendered}"));
+            assert_eq!(back, i, "through `{rendered}`");
+        }
+    }
+}

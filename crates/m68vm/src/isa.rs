@@ -1,0 +1,433 @@
+//! The instruction set: operations, operands, sizes and ISA levels.
+
+use core::fmt;
+
+/// Operand size of a data operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// One byte.
+    Byte,
+    /// Two bytes (a 68k "word").
+    Word,
+    /// Four bytes (a 68k "long").
+    Long,
+}
+
+impl Size {
+    /// Number of bytes moved by this size.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Size::Byte => 1,
+            Size::Word => 2,
+            Size::Long => 4,
+        }
+    }
+
+    /// The assembly suffix, e.g. `.l`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Size::Byte => ".b",
+            Size::Word => ".w",
+            Size::Long => ".l",
+        }
+    }
+}
+
+/// The ISA level a CPU implements (and an instruction requires).
+///
+/// `Isa2` (the "68020") executes everything `Isa1` (the "68010") does plus
+/// the three [`Op::isa2_only`] instructions. The paper, §7: "we can migrate
+/// a program from a Sun 2 ... to a Sun 3 ... which is upward-compatible
+/// ..., but we cannot migrate programs in the other direction."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IsaLevel {
+    /// Baseline instruction set (MC68010-like).
+    Isa1,
+    /// Superset instruction set (MC68020-like).
+    Isa2,
+}
+
+impl IsaLevel {
+    /// Can a program whose highest required level is `required` run here?
+    pub fn supports(self, required: IsaLevel) -> bool {
+        self >= required
+    }
+}
+
+/// An operation code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// Move data from source to destination.
+    Move = 1,
+    /// Load effective address of source into an address register.
+    Lea = 2,
+    /// Add source to destination.
+    Add = 3,
+    /// Subtract source from destination.
+    Sub = 4,
+    /// Signed multiply (low 32 bits of the product).
+    Muls = 5,
+    /// Signed divide; destination = destination / source.
+    Divs = 6,
+    /// Bitwise and.
+    And = 7,
+    /// Bitwise or.
+    Or = 8,
+    /// Bitwise exclusive or.
+    Eor = 9,
+    /// Bitwise complement of destination.
+    Not = 10,
+    /// Arithmetic negation of destination.
+    Neg = 11,
+    /// Logical shift left destination by source.
+    Lsl = 12,
+    /// Logical shift right destination by source.
+    Lsr = 13,
+    /// Arithmetic shift right destination by source.
+    Asr = 14,
+    /// Compare destination with source (sets flags only).
+    Cmp = 15,
+    /// Test destination against zero (sets flags only).
+    Tst = 16,
+    /// Branch always.
+    Bra = 17,
+    /// Branch if equal (Z set).
+    Beq = 18,
+    /// Branch if not equal (Z clear).
+    Bne = 19,
+    /// Branch if less than (signed).
+    Blt = 20,
+    /// Branch if less or equal (signed).
+    Ble = 21,
+    /// Branch if greater than (signed).
+    Bgt = 22,
+    /// Branch if greater or equal (signed).
+    Bge = 23,
+    /// Branch if carry set (unsigned lower).
+    Bcs = 24,
+    /// Branch if carry clear (unsigned higher or same).
+    Bcc = 25,
+    /// Branch if minus (N set).
+    Bmi = 26,
+    /// Branch if plus (N clear).
+    Bpl = 27,
+    /// Jump to subroutine (pushes return address).
+    Jsr = 28,
+    /// Return from subroutine.
+    Rts = 29,
+    /// Trap into the kernel (vector in source immediate).
+    Trap = 30,
+    /// No operation.
+    Nop = 31,
+    /// ISA-2 only: 32x32-to-32 signed multiply-accumulate into destination.
+    Mac2 = 32,
+    /// ISA-2 only: unsigned bit-field extract: dst = (dst >> imm.lo8) &
+    /// mask(imm.hi8 bits).
+    Bfextu2 = 33,
+    /// ISA-2 only: sign-extend the low byte of destination to 32 bits
+    /// (the 68020's `EXTB.L`).
+    Extb2 = 34,
+}
+
+impl Op {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        use Op::*;
+        Some(match b {
+            1 => Move,
+            2 => Lea,
+            3 => Add,
+            4 => Sub,
+            5 => Muls,
+            6 => Divs,
+            7 => And,
+            8 => Or,
+            9 => Eor,
+            10 => Not,
+            11 => Neg,
+            12 => Lsl,
+            13 => Lsr,
+            14 => Asr,
+            15 => Cmp,
+            16 => Tst,
+            17 => Bra,
+            18 => Beq,
+            19 => Bne,
+            20 => Blt,
+            21 => Ble,
+            22 => Bgt,
+            23 => Bge,
+            24 => Bcs,
+            25 => Bcc,
+            26 => Bmi,
+            27 => Bpl,
+            28 => Jsr,
+            29 => Rts,
+            30 => Trap,
+            31 => Nop,
+            32 => Mac2,
+            33 => Bfextu2,
+            34 => Extb2,
+            _ => return None,
+        })
+    }
+
+    /// True for instructions only present at [`IsaLevel::Isa2`].
+    pub fn isa2_only(self) -> bool {
+        matches!(self, Op::Mac2 | Op::Bfextu2 | Op::Extb2)
+    }
+
+    /// The ISA level this instruction requires.
+    pub fn required_level(self) -> IsaLevel {
+        if self.isa2_only() {
+            IsaLevel::Isa2
+        } else {
+            IsaLevel::Isa1
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Move => "move",
+            Lea => "lea",
+            Add => "add",
+            Sub => "sub",
+            Muls => "muls",
+            Divs => "divs",
+            And => "and",
+            Or => "or",
+            Eor => "eor",
+            Not => "not",
+            Neg => "neg",
+            Lsl => "lsl",
+            Lsr => "lsr",
+            Asr => "asr",
+            Cmp => "cmp",
+            Tst => "tst",
+            Bra => "bra",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Ble => "ble",
+            Bgt => "bgt",
+            Bge => "bge",
+            Bcs => "bcs",
+            Bcc => "bcc",
+            Bmi => "bmi",
+            Bpl => "bpl",
+            Jsr => "jsr",
+            Rts => "rts",
+            Trap => "trap",
+            Nop => "nop",
+            Mac2 => "mac2",
+            Bfextu2 => "bfextu2",
+            Extb2 => "extb2",
+        }
+    }
+
+    /// True for conditional and unconditional branches.
+    pub fn is_branch(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Bra | Beq | Bne | Blt | Ble | Bgt | Bge | Bcs | Bcc | Bmi | Bpl
+        )
+    }
+}
+
+/// An instruction operand (addressing mode plus register/value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// No operand.
+    None,
+    /// Data register `dN`.
+    DReg(u8),
+    /// Address register `aN` (`a7` is the stack pointer).
+    AReg(u8),
+    /// Immediate value `#v`.
+    Imm(u32),
+    /// Absolute address `addr`.
+    Abs(u32),
+    /// Register indirect `(aN)`.
+    Ind(u8),
+    /// Register indirect with displacement `d(aN)`.
+    IndDisp(u8, i32),
+    /// Register indirect with post-increment `(aN)+`.
+    PostInc(u8),
+    /// Register indirect with pre-decrement `-(aN)`.
+    PreDec(u8),
+}
+
+impl Operand {
+    /// Does this operand occupy an extension word in the encoding?
+    pub fn has_ext(self) -> bool {
+        matches!(
+            self,
+            Operand::Imm(_) | Operand::Abs(_) | Operand::IndDisp(_, _)
+        )
+    }
+
+    /// Is this a memory-touching operand (costs extra cycles)?
+    pub fn touches_memory(self) -> bool {
+        matches!(
+            self,
+            Operand::Abs(_)
+                | Operand::Ind(_)
+                | Operand::IndDisp(_, _)
+                | Operand::PostInc(_)
+                | Operand::PreDec(_)
+        )
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand::None => Ok(()),
+            Operand::DReg(r) => write!(f, "d{r}"),
+            Operand::AReg(7) => write!(f, "sp"),
+            Operand::AReg(r) => write!(f, "a{r}"),
+            Operand::Imm(v) => write!(f, "#{}", v as i32),
+            Operand::Abs(v) => write!(f, "0x{v:x}"),
+            Operand::Ind(r) => write!(f, "(a{r})"),
+            Operand::IndDisp(r, d) => write!(f, "{d}(a{r})"),
+            Operand::PostInc(r) => write!(f, "(a{r})+"),
+            Operand::PreDec(r) => write!(f, "-(a{r})"),
+        }
+    }
+}
+
+/// A decoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The operation.
+    pub op: Op,
+    /// Operand size (ignored by branches, `lea`, `trap`, ...).
+    pub size: Size,
+    /// Source operand.
+    pub src: Operand,
+    /// Destination operand.
+    pub dst: Operand,
+}
+
+impl Instr {
+    /// A new instruction with explicit operands.
+    pub fn new(op: Op, size: Size, src: Operand, dst: Operand) -> Instr {
+        Instr { op, size, src, dst }
+    }
+
+    /// Encoded length in bytes (4-byte base word plus 4 bytes per
+    /// extension operand).
+    pub fn encoded_len(&self) -> u32 {
+        let mut n = 4;
+        if self.src.has_ext() {
+            n += 4;
+        }
+        if self.dst.has_ext() {
+            n += 4;
+        }
+        n
+    }
+
+    /// Simple-instruction cost units: 1 for register-only work, plus one
+    /// per memory-touching operand, plus extra for multiply/divide and
+    /// kernel traps.
+    pub fn cost_units(&self) -> u32 {
+        let mut units = 1;
+        if self.src.touches_memory() {
+            units += 1;
+        }
+        if self.dst.touches_memory() {
+            units += 1;
+        }
+        match self.op {
+            Op::Muls | Op::Mac2 => units += 5,
+            Op::Divs => units += 12,
+            Op::Jsr | Op::Rts => units += 2,
+            _ => {}
+        }
+        units
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op.mnemonic())?;
+        let sized = !matches!(self.op, Op::Lea | Op::Rts | Op::Nop | Op::Trap | Op::Jsr)
+            && !self.op.is_branch();
+        if sized {
+            write!(f, "{}", self.size.suffix())?;
+        }
+        match (self.src, self.dst) {
+            (Operand::None, Operand::None) => Ok(()),
+            (s, Operand::None) => write!(f, " {s}"),
+            (Operand::None, d) => write!(f, " {d}"),
+            (s, d) => write!(f, " {s}, {d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa2_is_superset() {
+        assert!(IsaLevel::Isa2.supports(IsaLevel::Isa1));
+        assert!(IsaLevel::Isa2.supports(IsaLevel::Isa2));
+        assert!(!IsaLevel::Isa1.supports(IsaLevel::Isa2));
+    }
+
+    #[test]
+    fn isa2_only_ops() {
+        assert!(Op::Mac2.isa2_only());
+        assert!(Op::Extb2.isa2_only());
+        assert!(!Op::Move.isa2_only());
+        assert_eq!(Op::Bfextu2.required_level(), IsaLevel::Isa2);
+    }
+
+    #[test]
+    fn opcode_round_trip() {
+        for b in 0..=255u8 {
+            if let Some(op) = Op::from_u8(b) {
+                assert_eq!(op as u8, b);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_len_counts_ext_words() {
+        let i = Instr::new(Op::Move, Size::Long, Operand::Imm(5), Operand::DReg(0));
+        assert_eq!(i.encoded_len(), 8);
+        let j = Instr::new(
+            Op::Move,
+            Size::Long,
+            Operand::Abs(0x100),
+            Operand::Abs(0x200),
+        );
+        assert_eq!(j.encoded_len(), 12);
+        let k = Instr::new(Op::Rts, Size::Long, Operand::None, Operand::None);
+        assert_eq!(k.encoded_len(), 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instr::new(Op::Move, Size::Long, Operand::Imm(5), Operand::DReg(1));
+        assert_eq!(i.to_string(), "move.l #5, d1");
+        let b = Instr::new(Op::Beq, Size::Long, Operand::None, Operand::Abs(0x40));
+        assert_eq!(b.to_string(), "beq 0x40");
+    }
+
+    #[test]
+    fn cost_units_reflect_memory_and_op() {
+        let reg = Instr::new(Op::Add, Size::Long, Operand::DReg(0), Operand::DReg(1));
+        assert_eq!(reg.cost_units(), 1);
+        let mem = Instr::new(Op::Add, Size::Long, Operand::Ind(0), Operand::Abs(4));
+        assert_eq!(mem.cost_units(), 3);
+        let div = Instr::new(Op::Divs, Size::Long, Operand::DReg(0), Operand::DReg(1));
+        assert!(div.cost_units() > 10);
+    }
+}

@@ -1,0 +1,306 @@
+//! The segmented, big-endian process memory image.
+//!
+//! Like a 4.2BSD process, an image has three segments:
+//!
+//! * **text** — read-only instructions, loaded at [`MemoryLayout::TEXT_BASE`];
+//! * **data** — initialised data followed by zeroed bss, page-aligned after
+//!   the text;
+//! * **stack** — a fixed region ending at [`MemoryLayout::STACK_TOP`],
+//!   growing downwards.
+//!
+//! Address zero is unmapped so null-pointer dereferences fault, and writes
+//! to text fault, letting the kernel convert both into the appropriate
+//! signals.
+
+use crate::cpu::Fault;
+
+/// The fixed virtual-address plan shared by every process image.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryLayout;
+
+impl MemoryLayout {
+    /// Base address of the text segment (page 0 is left unmapped).
+    pub const TEXT_BASE: u32 = 0x0000_1000;
+    /// Segment alignment (8 KB pages, as on the Sun-2).
+    pub const PAGE: u32 = 0x2000;
+    /// One past the highest stack address; the stack grows down from here.
+    pub const STACK_TOP: u32 = 0x0080_0000;
+    /// Maximum stack size in bytes.
+    pub const STACK_MAX: u32 = 0x0004_0000; // 256 KB
+
+    /// The base address of the data segment for a given text size.
+    pub fn data_base(text_len: u32) -> u32 {
+        let end = Self::TEXT_BASE + text_len;
+        end.div_ceil(Self::PAGE) * Self::PAGE
+    }
+}
+
+/// A process memory image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Memory {
+    text: Vec<u8>,
+    /// Initialised data + bss, starting at `data_base`.
+    data: Vec<u8>,
+    data_base: u32,
+    /// The stack region; index 0 is `STACK_TOP - STACK_MAX`.
+    stack: Vec<u8>,
+}
+
+impl Memory {
+    /// Builds an image from a text segment, initialised data and a bss
+    /// size (zero-filled after the data).
+    pub fn new(text: Vec<u8>, data: Vec<u8>, bss_len: u32) -> Memory {
+        let data_base = MemoryLayout::data_base(text.len() as u32);
+        let mut data = data;
+        data.resize(data.len() + bss_len as usize, 0);
+        Memory {
+            text,
+            data,
+            data_base,
+            stack: vec![0; MemoryLayout::STACK_MAX as usize],
+        }
+    }
+
+    /// The text segment bytes.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The data segment bytes (data + bss), whose *current* contents the
+    /// `SIGDUMP` `a.outXXXXX` file captures.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The base address of the data segment.
+    pub fn data_base(&self) -> u32 {
+        self.data_base
+    }
+
+    /// The stack bytes from `sp` to the top of the stack, i.e. the live
+    /// stack contents the `stackXXXXX` dump preserves.
+    ///
+    /// Returns `None` if `sp` lies outside the stack region.
+    pub fn stack_from(&self, sp: u32) -> Option<&[u8]> {
+        let base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
+        if sp < base || sp > MemoryLayout::STACK_TOP {
+            return None;
+        }
+        Some(&self.stack[(sp - base) as usize..])
+    }
+
+    /// Overwrites the live stack so that it holds `contents` ending at the
+    /// stack top, returning the new stack pointer. Used by `rest_proc()`.
+    ///
+    /// Fails if `contents` exceeds the stack region.
+    pub fn restore_stack(&mut self, contents: &[u8]) -> Option<u32> {
+        if contents.len() > MemoryLayout::STACK_MAX as usize {
+            return None;
+        }
+        let sp = MemoryLayout::STACK_TOP - contents.len() as u32;
+        let base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
+        let off = (sp - base) as usize;
+        self.stack[off..].copy_from_slice(contents);
+        Some(sp)
+    }
+
+    fn locate(&self, addr: u32, len: u32) -> Result<Region, Fault> {
+        let end = addr.checked_add(len).ok_or(Fault::Unmapped { addr })?;
+        let text_base = MemoryLayout::TEXT_BASE;
+        let text_end = text_base + self.text.len() as u32;
+        if addr >= text_base && end <= text_end {
+            return Ok(Region::Text((addr - text_base) as usize));
+        }
+        let data_end = self.data_base + self.data.len() as u32;
+        if addr >= self.data_base && end <= data_end {
+            return Ok(Region::Data((addr - self.data_base) as usize));
+        }
+        let stack_base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
+        if addr >= stack_base && end <= MemoryLayout::STACK_TOP {
+            return Ok(Region::Stack((addr - stack_base) as usize));
+        }
+        Err(Fault::Unmapped { addr })
+    }
+
+    /// Returns the longest readable slice starting at `addr`, up to
+    /// `max` bytes, without copying (used by the instruction fetch).
+    pub fn read_window(&self, addr: u32, max: u32) -> Result<&[u8], Fault> {
+        // Find how many bytes remain in the segment containing `addr`.
+        let (seg, off): (&[u8], usize) = match self.locate(addr, 1)? {
+            Region::Text(o) => (&self.text, o),
+            Region::Data(o) => (&self.data, o),
+            Region::Stack(o) => (&self.stack, o),
+        };
+        let end = (off + max as usize).min(seg.len());
+        Ok(&seg[off..end])
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], Fault> {
+        let n = len as usize;
+        Ok(match self.locate(addr, len)? {
+            Region::Text(o) => &self.text[o..o + n],
+            Region::Data(o) => &self.data[o..o + n],
+            Region::Stack(o) => &self.stack[o..o + n],
+        })
+    }
+
+    /// Writes `bytes` starting at `addr`; text is write-protected.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        let n = bytes.len();
+        match self.locate(addr, n as u32)? {
+            Region::Text(_) => Err(Fault::WriteToText { addr }),
+            Region::Data(o) => {
+                self.data[o..o + n].copy_from_slice(bytes);
+                Ok(())
+            }
+            Region::Stack(o) => {
+                self.stack[o..o + n].copy_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, Fault> {
+        Ok(self.read_bytes(addr, 1)?[0])
+    }
+
+    /// Reads a big-endian 16-bit word.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, Fault> {
+        let b = self.read_bytes(addr, 2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian 32-bit word.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, Fault> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), Fault> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Writes a big-endian 16-bit word.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), Fault> {
+        self.write_bytes(addr, &v.to_be_bytes())
+    }
+
+    /// Writes a big-endian 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), Fault> {
+        self.write_bytes(addr, &v.to_be_bytes())
+    }
+
+    /// Reads a NUL-terminated string of at most `max` bytes starting at
+    /// `addr` (the form in which guest programs pass path names).
+    pub fn read_cstr(&self, addr: u32, max: usize) -> Result<String, Fault> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        while out.len() < max {
+            let b = self.read_u8(a)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+            a = a.wrapping_add(1);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+}
+
+enum Region {
+    Text(usize),
+    Data(usize),
+    Stack(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(vec![0xAA; 64], vec![1, 2, 3, 4], 16)
+    }
+
+    #[test]
+    fn layout_aligns_data_after_text() {
+        assert_eq!(MemoryLayout::data_base(0), 0x2000);
+        assert_eq!(MemoryLayout::data_base(1), 0x2000);
+        assert_eq!(MemoryLayout::data_base(0x1001), 0x4000);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let m = mem();
+        assert!(matches!(m.read_u8(0), Err(Fault::Unmapped { .. })));
+        assert!(matches!(m.read_u32(4), Err(Fault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn text_is_write_protected() {
+        let mut m = mem();
+        let a = MemoryLayout::TEXT_BASE;
+        assert_eq!(m.read_u8(a).unwrap(), 0xAA);
+        assert!(matches!(m.write_u8(a, 1), Err(Fault::WriteToText { .. })));
+    }
+
+    #[test]
+    fn data_and_bss_read_write() {
+        let mut m = mem();
+        let d = m.data_base();
+        assert_eq!(m.read_bytes(d, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(m.read_u8(d + 4).unwrap(), 0); // bss zeroed
+        m.write_u32(d + 8, 0xCAFEBABE).unwrap();
+        assert_eq!(m.read_u32(d + 8).unwrap(), 0xCAFEBABE);
+    }
+
+    #[test]
+    fn big_endian_byte_order() {
+        let mut m = mem();
+        let d = m.data_base();
+        m.write_u32(d, 0x11223344).unwrap();
+        assert_eq!(m.read_u8(d).unwrap(), 0x11);
+        assert_eq!(m.read_u8(d + 3).unwrap(), 0x44);
+        assert_eq!(m.read_u16(d).unwrap(), 0x1122);
+    }
+
+    #[test]
+    fn stack_dump_and_restore_round_trip() {
+        let mut m = mem();
+        let sp = MemoryLayout::STACK_TOP - 8;
+        m.write_u32(sp, 0xAABBCCDD).unwrap();
+        m.write_u32(sp + 4, 0x01020304).unwrap();
+        let saved = m.stack_from(sp).unwrap().to_vec();
+        assert_eq!(saved.len(), 8);
+
+        let mut m2 = Memory::new(vec![0; 64], vec![0; 4], 0);
+        let sp2 = m2.restore_stack(&saved).unwrap();
+        assert_eq!(sp2, sp);
+        assert_eq!(m2.read_u32(sp2).unwrap(), 0xAABBCCDD);
+        assert_eq!(m2.read_u32(sp2 + 4).unwrap(), 0x01020304);
+    }
+
+    #[test]
+    fn restore_oversized_stack_fails() {
+        let mut m = mem();
+        let too_big = vec![0u8; MemoryLayout::STACK_MAX as usize + 1];
+        assert!(m.restore_stack(&too_big).is_none());
+    }
+
+    #[test]
+    fn cstr_reads_until_nul() {
+        let mut m = mem();
+        let d = m.data_base();
+        m.write_bytes(d, b"hello\0junk").unwrap();
+        assert_eq!(m.read_cstr(d, 64).unwrap(), "hello");
+    }
+
+    #[test]
+    fn gap_between_segments_faults() {
+        let m = mem();
+        let hole = MemoryLayout::TEXT_BASE + 64; // Past text end, before data.
+        assert!(m.read_u8(hole).is_err());
+    }
+}

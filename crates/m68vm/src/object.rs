@@ -1,0 +1,61 @@
+//! The assembler's output: a loadable program image description.
+
+use std::collections::BTreeMap;
+
+use crate::isa::IsaLevel;
+use crate::mem::{Memory, MemoryLayout};
+
+/// An assembled program: the input to the a.out encoder and the loader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Object {
+    /// Encoded text segment.
+    pub text: Vec<u8>,
+    /// Initialised data segment.
+    pub data: Vec<u8>,
+    /// Length of the zero-filled bss that follows the data.
+    pub bss_len: u32,
+    /// Entry point (virtual address).
+    pub entry: u32,
+    /// Symbol table: name to virtual address.
+    pub symbols: BTreeMap<String, u32>,
+    /// The highest ISA level any instruction in the text requires.
+    pub required_isa: IsaLevel,
+}
+
+impl Object {
+    /// The virtual base address of this object's data segment.
+    pub fn data_base(&self) -> u32 {
+        MemoryLayout::data_base(self.text.len() as u32)
+    }
+
+    /// Builds a fresh process memory image from the object.
+    pub fn to_memory(&self) -> Memory {
+        Memory::new(self.text.clone(), self.data.clone(), self.bss_len)
+    }
+
+    /// Looks up a symbol's virtual address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_memory_places_segments() {
+        let obj = Object {
+            text: vec![1, 2, 3, 4],
+            data: vec![9, 8],
+            bss_len: 4,
+            entry: MemoryLayout::TEXT_BASE,
+            symbols: BTreeMap::new(),
+            required_isa: IsaLevel::Isa1,
+        };
+        let mem = obj.to_memory();
+        assert_eq!(mem.text(), &[1, 2, 3, 4]);
+        assert_eq!(mem.data(), &[9, 8, 0, 0, 0, 0]);
+        assert_eq!(mem.data_base(), obj.data_base());
+    }
+}

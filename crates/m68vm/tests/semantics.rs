@@ -1,0 +1,128 @@
+//! Property tests pinning the interpreter's arithmetic to Rust's
+//! wrapping semantics, and source-level assembler round trips.
+
+use m68vm::{assemble, Cpu, IsaLevel, StepEvent};
+use proptest::prelude::*;
+
+/// Runs a freshly assembled program until its first trap and returns the
+/// CPU state.
+fn run(src: &str) -> Cpu {
+    let obj = assemble(src).expect("assemble");
+    let mut mem = obj.to_memory();
+    let mut cpu = Cpu::at_entry(obj.entry);
+    for _ in 0..10_000 {
+        match cpu.step(&mut mem, IsaLevel::Isa2) {
+            StepEvent::Executed { .. } => {}
+            StepEvent::Trap { .. } => return cpu,
+            StepEvent::Faulted(f) => panic!("fault {f:?}"),
+        }
+    }
+    panic!("no trap");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_matches_wrapping_add(a in any::<i32>(), b in any::<i32>()) {
+        let cpu = run(&format!(
+            "start: move.l #{a}, d1\n add.l #{b}, d1\n trap #0\n"
+        ));
+        prop_assert_eq!(cpu.d[1], (a as u32).wrapping_add(b as u32));
+    }
+
+    #[test]
+    fn sub_matches_wrapping_sub(a in any::<i32>(), b in any::<i32>()) {
+        let cpu = run(&format!(
+            "start: move.l #{a}, d1\n sub.l #{b}, d1\n trap #0\n"
+        ));
+        prop_assert_eq!(cpu.d[1], (a as u32).wrapping_sub(b as u32));
+    }
+
+    #[test]
+    fn muls_matches_wrapping_mul(a in any::<i32>(), b in any::<i32>()) {
+        let cpu = run(&format!(
+            "start: move.l #{a}, d1\n muls.l #{b}, d1\n trap #0\n"
+        ));
+        prop_assert_eq!(cpu.d[1], a.wrapping_mul(b) as u32);
+    }
+
+    #[test]
+    fn divs_matches_rust_division(a in any::<i32>(), b in any::<i32>().prop_filter("nonzero", |b| *b != 0)) {
+        // i32::MIN / -1 overflows in Rust; the VM wraps.
+        let cpu = run(&format!(
+            "start: move.l #{a}, d1\n divs.l #{b}, d1\n trap #0\n"
+        ));
+        prop_assert_eq!(cpu.d[1], a.wrapping_div(b) as u32);
+    }
+
+    #[test]
+    fn logic_ops_match(a in any::<u32>(), b in any::<u32>()) {
+        let cpu = run(&format!(
+            "start: move.l #{a}, d1\n move.l #{a}, d2\n move.l #{a}, d3\n \
+             and.l #{b}, d1\n or.l #{b}, d2\n eor.l #{b}, d3\n trap #0\n"
+        ));
+        prop_assert_eq!(cpu.d[1], a & b);
+        prop_assert_eq!(cpu.d[2], a | b);
+        prop_assert_eq!(cpu.d[3], a ^ b);
+    }
+
+    #[test]
+    fn shifts_match(a in any::<u32>(), n in 0u32..32) {
+        let cpu = run(&format!(
+            "start: move.l #{a}, d1\n move.l #{a}, d2\n move.l #{a}, d3\n \
+             lsl.l #{n}, d1\n lsr.l #{n}, d2\n asr.l #{n}, d3\n trap #0\n"
+        ));
+        prop_assert_eq!(cpu.d[1], if n == 0 { a } else { a.wrapping_shl(n) });
+        prop_assert_eq!(cpu.d[2], if n == 0 { a } else { a >> n });
+        prop_assert_eq!(cpu.d[3], if n == 0 { a } else { ((a as i32) >> n) as u32 });
+    }
+
+    #[test]
+    fn signed_comparisons_agree_with_rust(a in any::<i32>(), b in any::<i32>()) {
+        // blt taken iff a < b  (cmp.l #b, d1 compares d1 against b).
+        let cpu = run(&format!(
+            "start: move.l #{a}, d1\n cmp.l #{b}, d1\n blt yes\n \
+             move.l #0, d7\n trap #0\n yes: move.l #1, d7\n trap #0\n"
+        ));
+        prop_assert_eq!(cpu.d[7] == 1, a < b, "a={} b={}", a, b);
+    }
+
+    #[test]
+    fn unsigned_comparisons_agree_with_rust(a in any::<u32>(), b in any::<u32>()) {
+        // bcs after cmp = borrow = unsigned less-than.
+        let cpu = run(&format!(
+            "start: move.l #{}, d1\n cmp.l #{}, d1\n bcs yes\n \
+             move.l #0, d7\n trap #0\n yes: move.l #1, d7\n trap #0\n",
+            a as i32, b as i32
+        ));
+        prop_assert_eq!(cpu.d[7] == 1, a < b, "a={} b={}", a, b);
+    }
+
+    #[test]
+    fn memory_round_trip_through_stack(v in any::<u32>()) {
+        let cpu = run(&format!(
+            "start: move.l #{}, -(sp)\n move.l (sp)+, d4\n trap #0\n",
+            v as i32
+        ));
+        prop_assert_eq!(cpu.d[4], v);
+    }
+}
+
+#[test]
+fn isa2_bitfield_extract_semantics() {
+    // bfextu2 spec = (width << 8) | shift.
+    let spec: u32 = (8 << 8) | 4;
+    let cpu = run(&format!(
+        "start: move.l #0x12345678, d1\n bfextu2 #{spec}, d1\n trap #0\n"
+    ));
+    assert_eq!(cpu.d[1], (0x1234_5678u32 >> 4) & 0xff);
+}
+
+#[test]
+fn mac2_multiplies_and_accumulates() {
+    let cpu = run("start: move.l #3, d0\n move.l #10, d1\n move.l #5, d2\n \
+         mac2 d2, d1\n trap #0\n");
+    // d1 += d2 * d0 = 10 + 5*3.
+    assert_eq!(cpu.d[1], 25);
+}

@@ -1,0 +1,165 @@
+//! World-level helpers: spawn the commands as processes and drive the
+//! simulation, for tests, examples and the benchmark harness.
+
+use sysdefs::{Credentials, Errno, Pid};
+use ukernel::{MachineId, World};
+
+use crate::commands::{dumpproc, restart, RestartArgs};
+
+/// Why a scripted migration failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The `migrate` command process never finished.
+    CommandHung,
+    /// The command finished with a non-zero status (the inner errno).
+    Failed(u32),
+    /// The restarted process could not be found on the target machine.
+    NotRestarted,
+}
+
+impl core::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MigrationError::CommandHung => write!(f, "migrate command did not finish"),
+            MigrationError::Failed(s) => write!(f, "migrate failed with status {s}"),
+            MigrationError::NotRestarted => write!(f, "restarted process not found"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Finds the restarted incarnation of `orig_pid` on machine `mid`: the
+/// process whose command is the dumped image name `a.outXXXXX`.
+pub fn find_restarted(world: &World, mid: MachineId, orig_pid: Pid) -> Option<Pid> {
+    let wanted = format!("a.out{:05}", orig_pid.as_u32());
+    if let Some(p) = world.machine(mid).procs.values().find(|p| p.comm == wanted) {
+        return Some(p.pid);
+    }
+    // The restored process may already have run to completion; the
+    // overlay record still names it.
+    world
+        .overlaid
+        .iter()
+        .find(|(&(m, _), comm)| m == mid && **comm == wanted)
+        .map(|(&(_, pid), _)| Pid(pid))
+}
+
+/// Runs `dumpproc -p <pid>` as a process on `mid` and waits for it.
+///
+/// Returns the command's exit status (0 on success).
+pub fn run_dumpproc(
+    world: &mut World,
+    mid: MachineId,
+    victim: Pid,
+    cred: Credentials,
+) -> Result<u32, MigrationError> {
+    let cmd = world.spawn_native_proc(
+        mid,
+        "dumpproc",
+        None,
+        cred,
+        Box::new(move |sys| match dumpproc(sys, victim) {
+            Ok(()) => 0,
+            Err(e) => e.as_u16() as u32,
+        }),
+    );
+    let info = world
+        .run_until_exit(mid, cmd, 2_000_000)
+        .ok_or(MigrationError::CommandHung)?;
+    Ok(info.status)
+}
+
+/// Runs `restart -p <pid> [-h <host>]` as a process on `mid` attached to
+/// `tty`, waits until it has either failed or been overlaid, and returns
+/// the pid of the restarted process.
+pub fn run_restart(
+    world: &mut World,
+    mid: MachineId,
+    args: RestartArgs,
+    tty: Option<u32>,
+    cred: Credentials,
+) -> Result<Pid, MigrationError> {
+    let orig = args.pid;
+    let cmd = world.spawn_native_proc(
+        mid,
+        "restart",
+        tty,
+        cred,
+        Box::new(move |sys| restart(sys, &args).as_u16() as u32),
+    );
+    // Run until the command either exits (failure) or its process has
+    // become the restored image (success).
+    for _ in 0..2_000_000u32 {
+        if let Some(info) = world.finished.get(&(mid, cmd.as_u32())) {
+            return Err(MigrationError::Failed(info.status));
+        }
+        if find_restarted(world, mid, orig) == Some(cmd) {
+            return Ok(cmd);
+        }
+        if world.run_slices(1) == ukernel::RunOutcome::Idle {
+            break;
+        }
+    }
+    match find_restarted(world, mid, orig) {
+        Some(pid) => Ok(pid),
+        None => Err(MigrationError::NotRestarted),
+    }
+}
+
+/// Scripts a whole migration with the `migrate` command issued from
+/// `cmd_machine`: dump on `from`, restart on `to`, then locate the
+/// restored process.
+///
+/// Returns the new pid on the target machine.
+pub fn migrate_process(
+    world: &mut World,
+    victim: Pid,
+    from: MachineId,
+    to: MachineId,
+    cmd_machine: MachineId,
+    tty: Option<u32>,
+    cred: Credentials,
+) -> Result<Pid, MigrationError> {
+    let from_name = world.machine(from).name.clone();
+    let to_name = world.machine(to).name.clone();
+    let cmd = world.spawn_native_proc(
+        cmd_machine,
+        "migrate",
+        tty,
+        cred,
+        Box::new(
+            move |sys| match crate::commands::migrate(sys, victim, &from_name, &to_name) {
+                Ok(status) => status,
+                Err(e) => e.as_u16() as u32,
+            },
+        ),
+    );
+    let info = world
+        .run_until_exit(cmd_machine, cmd, 4_000_000)
+        .ok_or(MigrationError::CommandHung)?;
+    if info.status != 0 {
+        return Err(MigrationError::Failed(info.status));
+    }
+    find_restarted(world, to, victim).ok_or(MigrationError::NotRestarted)
+}
+
+/// Convenience: the errno a command exit status encodes, if any (these
+/// commands exit with the raw errno number on failure).
+pub fn status_errno(status: u32) -> Option<Errno> {
+    if status == 0 {
+        None
+    } else {
+        errno_from_u16(status as u16)
+    }
+}
+
+fn errno_from_u16(n: u16) -> Option<Errno> {
+    use Errno::*;
+    let all = [
+        EPERM, ENOENT, ESRCH, EINTR, EIO, ENXIO, E2BIG, ENOEXEC, EBADF, ECHILD, EAGAIN, ENOMEM,
+        EACCES, EFAULT, EBUSY, EEXIST, EXDEV, ENODEV, ENOTDIR, EISDIR, EINVAL, ENFILE, EMFILE,
+        ENOTTY, EFBIG, ENOSPC, ESPIPE, EROFS, EMLINK, EPIPE, ELOOP, EREMOTE, ESTALE,
+    ];
+    all.into_iter().find(|e| e.as_u16() == n)
+}

@@ -1,0 +1,265 @@
+//! The three user commands of §4.1 plus `undump`, implemented exactly as
+//! §4.4 describes, against the simulated kernel's system-call interface.
+
+use aout::AoutHeader;
+use dumpfmt::{dump_file_names, FdRecord, FilesFile, StackFile};
+use sysdefs::limits::NOFILE;
+use sysdefs::{Errno, OpenFlags, Pid, Signal, SysResult};
+use ukernel::{Sys, Whence};
+
+use crate::resolve::rewrite_for_migration;
+
+/// How many times `dumpproc` polls for `a.outXXXXX` before giving up
+/// ("aborting after ten tries").
+const DUMP_POLL_TRIES: u32 = 10;
+
+/// The 1-second poll sleep between tries.
+const DUMP_POLL_SLEEP_US: u64 = 1_000_000;
+
+/// **`dumpproc`** (§4.4): kill a process with `SIGDUMP` and rewrite its
+/// `filesXXXXX` file for migration.
+///
+/// Returns `Ok(())` when the dump files are ready; the caller (or the
+/// command wrapper) maps errors to exit statuses.
+pub fn dumpproc(sys: &Sys, pid: Pid) -> SysResult<()> {
+    // "Kills the specified process with a SIGDUMP signal."
+    sys.kill(pid, Signal::SIGDUMP)?;
+
+    // "When dumpproc tries to open the a.outXXXXX file, it has to wait
+    // until the kernel switches its context to that of the process being
+    // dumped ... To avoid busy loops, dumpproc simply sleeps for one
+    // second after each unsuccessful attempt (aborting after ten tries)."
+    let names = dump_file_names(pid);
+    let mut opened = None;
+    for _ in 0..DUMP_POLL_TRIES {
+        sys.sleep_us(DUMP_POLL_SLEEP_US)?;
+        match sys.open(&names.a_out, 0) {
+            Ok(fd) => {
+                opened = Some(fd);
+                break;
+            }
+            Err(Errno::ENOENT) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let fd = opened.ok_or(Errno::ENOENT)?;
+    sys.close(fd)?;
+
+    // "Reads in the filesXXXXX file."
+    let fd = sys.open(&names.files, 0)?;
+    let bytes = sys.read_all(fd)?;
+    sys.close(fd)?;
+    let mut files = FilesFile::decode(&bytes).map_err(|_| Errno::EINVAL)?;
+    // Parsing and rebuilding the table is real work for a 1 MIPS CPU.
+    sys.compute(25_000)?;
+
+    let host = sys.gethostname_real().or_else(|_| sys.gethostname())?;
+
+    // "Resolves symbolic links for the current working directory and all
+    // open files", maps terminals to /dev/tty and prepends
+    // /n/<machinename> to local names.
+    files.cwd = rewrite_for_migration(sys, &files.cwd, &host)?;
+    for record in &mut files.fds {
+        if let FdRecord::File { path, .. } = record {
+            *path = rewrite_for_migration(sys, path, &host)?;
+        }
+    }
+
+    // "Overwrites the modified information on the filesXXXXX file."
+    let fd = sys.creat(&names.files, 0o600)?;
+    sys.write(fd, &files.encode())?;
+    sys.close(fd)?;
+    Ok(())
+}
+
+/// Arguments of the `restart` command.
+#[derive(Clone, Debug)]
+pub struct RestartArgs {
+    /// The dumped process's pid (`-p`).
+    pub pid: Pid,
+    /// The host the process was dumped on (`-h`); `None` means the
+    /// current machine.
+    pub dump_host: Option<String>,
+}
+
+/// **`restart`** (§4.4): verify the dump files, rebuild the user-level
+/// process environment, and call `rest_proc()`.
+///
+/// On success this never returns (the calling process becomes the
+/// restored program); the error is returned otherwise.
+pub fn restart(sys: &Sys, args: &RestartArgs) -> Errno {
+    match restart_inner(sys, args) {
+        Ok(never) => match never {},
+        Err(e) => e,
+    }
+}
+
+enum Never {}
+
+fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
+    // Dump files live on the dumping host's /usr/tmp; reach them through
+    // /n/<host> when that is not the local machine.
+    let local = sys.gethostname_real().or_else(|_| sys.gethostname())?;
+    let prefix = match &args.dump_host {
+        Some(h) if *h != local => format!("/n/{h}"),
+        _ => String::new(),
+    };
+    let names = dump_file_names(args.pid);
+    let a_out = format!("{prefix}{}", names.a_out);
+    let files_path = format!("{prefix}{}", names.files);
+    let stack_path = format!("{prefix}{}", names.stack);
+
+    // "Verifies that the three files ... exist, and that they have the
+    // correct format by checking their magic numbers."
+    let fd = sys.open(&a_out, 0)?;
+    let header = sys.read(fd, aout::AOUT_HEADER_LEN)?;
+    sys.close(fd)?;
+    AoutHeader::decode(&header).map_err(|_| Errno::ENOEXEC)?;
+
+    let fd = sys.open(&files_path, 0)?;
+    let files_bytes = sys.read_all(fd)?;
+    sys.close(fd)?;
+    let files = FilesFile::decode(&files_bytes).map_err(|_| Errno::EINVAL)?;
+    // Decoding the table and planning the descriptor rebuild.
+    sys.compute(20_000).ok();
+
+    // "Reads the old user credentials from the stackXXXXX file and
+    // establishes them as its own. This is the only information that it
+    // reads from this file."
+    let fd = sys.open(&stack_path, 0)?;
+    let head = sys.read(fd, 2 + 16)?;
+    sys.close(fd)?;
+    let cred = StackFile::peek_credentials(&head).map_err(|_| Errno::EINVAL)?;
+    sys.setreuid(cred.ruid.as_u32(), cred.euid.as_u32())?;
+
+    // "Reads in the old current working directory and establishes that
+    // as its own."
+    sys.chdir(&files.cwd)?;
+
+    // Rebuild the descriptor table in order. Everything we hold now
+    // (our own stdio) is closed first so that each open lands on the
+    // right number.
+    for fd in 0..NOFILE {
+        let _ = sys.close(fd);
+    }
+    let mut placeholders: Vec<usize> = Vec::new();
+    for (i, record) in files.fds.iter().enumerate() {
+        let got = match record {
+            FdRecord::File {
+                path,
+                flags,
+                offset,
+            } => match sys.open(path, flags.reopen_flags().bits()) {
+                Ok(fd) => {
+                    // "Positions the file pointer to the correct offset."
+                    let _ = sys.lseek(fd, *offset as i64, Whence::Set);
+                    fd
+                }
+                Err(_) => open_placeholder(sys, i)?,
+            },
+            // "If ... it was a socket, or it was unused, the null device
+            // /dev/null is opened instead, so that the restarted process
+            // can find an open file where it expects one, and to
+            // preserve the order of open file numbers."
+            FdRecord::Socket => open_placeholder(sys, i)?,
+            FdRecord::Unused => {
+                let fd = open_placeholder(sys, i)?;
+                placeholders.push(fd);
+                fd
+            }
+        };
+        if got != i {
+            return Err(Errno::EIO);
+        }
+    }
+    // "Closes all files that were only opened to preserve the order of
+    // the file numbers."
+    for fd in placeholders {
+        let _ = sys.close(fd);
+    }
+
+    // "Reads in the old terminal flags and sets those of the current
+    // terminal appropriately."
+    if let Ok(tty_fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits()) {
+        let _ = sys.stty(tty_fd, files.tty_flags);
+        let _ = sys.close(tty_fd);
+    }
+
+    // "Calls rest_proc() to restart the old program." The old identity
+    // rides along for the §7 id-virtualization extension.
+    let e = sys.rest_proc(&a_out, &stack_path, Some(args.pid), Some(&files.host));
+    Err(e)
+}
+
+/// Opens the placeholder for an unreconstructable descriptor:
+/// `/dev/null`, except that "in the case of standard input, output and
+/// error output ... the terminal is opened instead of the null device,
+/// so that the user may have some control over the restarted program."
+fn open_placeholder(sys: &Sys, fd_no: usize) -> SysResult<usize> {
+    if fd_no <= 2 {
+        if let Ok(fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits()) {
+            return Ok(fd);
+        }
+    }
+    sys.open("/dev/null", OpenFlags::RDWR.bits())
+}
+
+/// **`migrate`** (§4.1): "move a process from one machine to another.
+/// This is simply a combination of the two previous commands", executed
+/// as subprocesses, "by using the remote shell command rsh ... if
+/// necessary".
+///
+/// Returns the restart command's exit status (0 = the process is now
+/// running on `to_host`).
+pub fn migrate(sys: &Sys, pid: Pid, from_host: &str, to_host: &str) -> SysResult<u32> {
+    let local = sys.gethostname_real().or_else(|_| sys.gethostname())?;
+
+    // Dump on the source machine.
+    let dump_status = if from_host == local {
+        let p = pid;
+        sys.run_local("dumpproc", move |s| match dumpproc(s, p) {
+            Ok(()) => 0,
+            Err(e) => e.as_u16() as u32,
+        })?
+    } else {
+        let p = pid;
+        sys.rsh(from_host, "dumpproc", move |s| match dumpproc(s, p) {
+            Ok(()) => 0,
+            Err(e) => e.as_u16() as u32,
+        })?
+    };
+    if dump_status != 0 {
+        return Ok(dump_status);
+    }
+
+    // Restart on the destination machine, reading the dump through
+    // /n/<from> when the two differ.
+    let args = RestartArgs {
+        pid,
+        dump_host: Some(from_host.to_string()),
+    };
+    let restart_status = if to_host == local {
+        sys.run_local("restart", move |s| restart(s, &args).as_u16() as u32)?
+    } else {
+        sys.rsh(to_host, "restart", move |s| {
+            restart(s, &args).as_u16() as u32
+        })?
+    };
+    Ok(restart_status)
+}
+
+/// **`undump`**: combine an executable and a core dump into a new
+/// executable — the utility §4.3 notes we get "for free".
+pub fn undump_cmd(sys: &Sys, exe_path: &str, core_path: &str, out_path: &str) -> SysResult<()> {
+    let fd = sys.open(exe_path, 0)?;
+    let exe = sys.read_all(fd)?;
+    sys.close(fd)?;
+    let fd = sys.open(core_path, 0)?;
+    let core = sys.read_all(fd)?;
+    sys.close(fd)?;
+    let merged = aout::undump(&exe, &core).map_err(|_| Errno::ENOEXEC)?;
+    let fd = sys.creat(out_path, 0o700)?;
+    sys.write(fd, &merged)?;
+    sys.close(fd)?;
+    Ok(())
+}

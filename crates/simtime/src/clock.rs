@@ -1,0 +1,220 @@
+//! Virtual instants and durations measured in simulated micro-seconds.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A duration of simulated time, in micro-seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `us` micro-seconds.
+    pub const fn micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// A duration of `ms` milli-seconds.
+    pub const fn millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// A duration of `s` seconds.
+    pub const fn secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// The duration in micro-seconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (fractional) milli-seconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Scales the duration by an integer factor.
+    pub fn times(self, n: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(n))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The ratio of this duration to another, as used when normalising
+    /// figure series ("performance of the original kernel normalised to 1").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero; figure baselines are always non-zero.
+    pub fn ratio_to(self, base: SimDuration) -> f64 {
+        assert!(base.0 != 0, "cannot normalise to a zero baseline");
+        self.0 as f64 / base.0 as f64
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// An instant of simulated time: micro-seconds since world boot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The boot instant.
+    pub const BOOT: SimTime = SimTime(0);
+
+    /// Micro-seconds since boot.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed since an earlier instant.
+    ///
+    /// Saturates to zero if `earlier` is actually later, so interval
+    /// arithmetic in measurement code cannot underflow.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{}", SimDuration(self.0))
+    }
+}
+
+/// The world clock: a monotonically advancing [`SimTime`].
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// A clock reading boot time.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; never moves
+    /// backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::micros(7).as_micros(), 7);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = SimDuration(5);
+        let b = SimDuration(9);
+        assert_eq!((a - b).as_micros(), 0);
+        assert_eq!((a + b).as_micros(), 14);
+        assert_eq!(SimTime(3).since(SimTime(10)).as_micros(), 0);
+    }
+
+    #[test]
+    fn ratio_normalisation() {
+        let base = SimDuration::millis(10);
+        let x = SimDuration::millis(14);
+        assert!((x.ratio_to(base) - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero baseline")]
+    fn ratio_to_zero_panics() {
+        let _ = SimDuration(1).ratio_to(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::secs(1));
+        let t1 = c.now();
+        c.advance_to(SimTime(10)); // In the past; must not move back.
+        assert_eq!(c.now(), t1);
+        c.advance_to(t1 + SimDuration::secs(1));
+        assert!(c.now() > t1);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration(12).to_string(), "12us");
+        assert_eq!(SimDuration::millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::secs(12).to_string(), "12.000s");
+    }
+}

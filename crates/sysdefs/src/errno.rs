@@ -1,0 +1,258 @@
+//! Unix error numbers, following the 4.2BSD `errno.h` values.
+
+use core::fmt;
+
+/// A Unix error number as returned by a failing system call.
+///
+/// The numeric values match 4.2BSD so that dumped state and traces read
+/// like the original system. [`Errno::EREMOTE`] is used by the simulated
+/// NFS server when a lookup would cross one of the *server's own* remote
+/// mounts — the condition behind the paper's observation that
+/// "`/n/classic/n/brador/usr/foo` ... NFS does not allow this syntax".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// No such process.
+    ESRCH = 3,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// I/O error.
+    EIO = 5,
+    /// No such device or address.
+    ENXIO = 6,
+    /// Argument list too long.
+    E2BIG = 7,
+    /// Exec format error.
+    ENOEXEC = 8,
+    /// Bad file number.
+    EBADF = 9,
+    /// No children.
+    ECHILD = 10,
+    /// No more processes.
+    EAGAIN = 11,
+    /// Not enough memory.
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// Bad address.
+    EFAULT = 14,
+    /// Block device required.
+    ENOTBLK = 15,
+    /// Device busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// Cross-device link.
+    EXDEV = 18,
+    /// No such device.
+    ENODEV = 19,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// File table overflow.
+    ENFILE = 23,
+    /// Too many open files.
+    EMFILE = 24,
+    /// Not a typewriter.
+    ENOTTY = 25,
+    /// Text file busy.
+    ETXTBSY = 26,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Illegal seek.
+    ESPIPE = 29,
+    /// Read-only file system.
+    EROFS = 30,
+    /// Too many links.
+    EMLINK = 31,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Socket operation on non-socket.
+    ENOTSOCK = 38,
+    /// Operation not supported on socket.
+    EOPNOTSUPP = 45,
+    /// Connection refused.
+    ECONNREFUSED = 61,
+    /// Too many levels of symbolic links.
+    ELOOP = 62,
+    /// File name too long.
+    ENAMETOOLONG = 63,
+    /// Host is down.
+    EHOSTDOWN = 64,
+    /// No route to host.
+    EHOSTUNREACH = 65,
+    /// Directory not empty.
+    ENOTEMPTY = 66,
+    /// Too many levels of remote in path.
+    EREMOTE = 71,
+    /// Stale NFS file handle.
+    ESTALE = 70,
+}
+
+impl Errno {
+    /// Returns the conventional short symbol, e.g. `"ENOENT"`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::ENXIO => "ENXIO",
+            Errno::E2BIG => "E2BIG",
+            Errno::ENOEXEC => "ENOEXEC",
+            Errno::EBADF => "EBADF",
+            Errno::ECHILD => "ECHILD",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::ENOTBLK => "ENOTBLK",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
+            Errno::ENODEV => "ENODEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
+            Errno::ENOTTY => "ENOTTY",
+            Errno::ETXTBSY => "ETXTBSY",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::ESPIPE => "ESPIPE",
+            Errno::EROFS => "EROFS",
+            Errno::EMLINK => "EMLINK",
+            Errno::EPIPE => "EPIPE",
+            Errno::ENOTSOCK => "ENOTSOCK",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::EHOSTDOWN => "EHOSTDOWN",
+            Errno::EHOSTUNREACH => "EHOSTUNREACH",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::EREMOTE => "EREMOTE",
+            Errno::ESTALE => "ESTALE",
+        }
+    }
+
+    /// Returns a short human-readable description, as `perror(3)` would.
+    pub fn description(self) -> &'static str {
+        match self {
+            Errno::EPERM => "operation not permitted",
+            Errno::ENOENT => "no such file or directory",
+            Errno::ESRCH => "no such process",
+            Errno::EINTR => "interrupted system call",
+            Errno::EIO => "i/o error",
+            Errno::ENXIO => "no such device or address",
+            Errno::E2BIG => "argument list too long",
+            Errno::ENOEXEC => "exec format error",
+            Errno::EBADF => "bad file number",
+            Errno::ECHILD => "no children",
+            Errno::EAGAIN => "no more processes",
+            Errno::ENOMEM => "not enough memory",
+            Errno::EACCES => "permission denied",
+            Errno::EFAULT => "bad address",
+            Errno::ENOTBLK => "block device required",
+            Errno::EBUSY => "device busy",
+            Errno::EEXIST => "file exists",
+            Errno::EXDEV => "cross-device link",
+            Errno::ENODEV => "no such device",
+            Errno::ENOTDIR => "not a directory",
+            Errno::EISDIR => "is a directory",
+            Errno::EINVAL => "invalid argument",
+            Errno::ENFILE => "file table overflow",
+            Errno::EMFILE => "too many open files",
+            Errno::ENOTTY => "not a typewriter",
+            Errno::ETXTBSY => "text file busy",
+            Errno::EFBIG => "file too large",
+            Errno::ENOSPC => "no space left on device",
+            Errno::ESPIPE => "illegal seek",
+            Errno::EROFS => "read-only file system",
+            Errno::EMLINK => "too many links",
+            Errno::EPIPE => "broken pipe",
+            Errno::ENOTSOCK => "socket operation on non-socket",
+            Errno::EOPNOTSUPP => "operation not supported on socket",
+            Errno::ECONNREFUSED => "connection refused",
+            Errno::ELOOP => "too many levels of symbolic links",
+            Errno::ENAMETOOLONG => "file name too long",
+            Errno::EHOSTDOWN => "host is down",
+            Errno::EHOSTUNREACH => "no route to host",
+            Errno::ENOTEMPTY => "directory not empty",
+            Errno::EREMOTE => "too many levels of remote in path",
+            Errno::ESTALE => "stale remote file handle",
+        }
+    }
+
+    /// Returns the numeric `errno` value (the 4.2BSD number).
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.symbol(), self.description())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_values_match_bsd() {
+        assert_eq!(Errno::EPERM.as_u16(), 1);
+        assert_eq!(Errno::ENOENT.as_u16(), 2);
+        assert_eq!(Errno::EBADF.as_u16(), 9);
+        assert_eq!(Errno::EINVAL.as_u16(), 22);
+        assert_eq!(Errno::ELOOP.as_u16(), 62);
+        assert_eq!(Errno::EREMOTE.as_u16(), 71);
+    }
+
+    #[test]
+    fn display_includes_symbol_and_text() {
+        let s = Errno::ENOENT.to_string();
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains("no such file"));
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let all = [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::ESRCH,
+            Errno::EINTR,
+            Errno::EIO,
+            Errno::EBADF,
+            Errno::EACCES,
+            Errno::EEXIST,
+            Errno::ENOTDIR,
+            Errno::EISDIR,
+            Errno::EINVAL,
+            Errno::EMFILE,
+            Errno::ENOTTY,
+            Errno::ESPIPE,
+            Errno::ELOOP,
+            Errno::EREMOTE,
+        ];
+        let mut symbols: Vec<_> = all.iter().map(|e| e.symbol()).collect();
+        symbols.sort();
+        symbols.dedup();
+        assert_eq!(symbols.len(), all.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Process, user and group identifiers.
+
+use core::fmt;
+
+/// A process identifier.
+///
+/// Pids are allocated per-machine by the simulated kernel, starting at 1
+/// (`init`), exactly as in the original system. After a migration the
+/// restarted process receives a *new* pid on the destination machine — the
+/// source of the paper's §7 "programs that know their process id" caveat.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// The pid of `init`, the first process on every machine.
+    pub const INIT: Pid = Pid(1);
+
+    /// Returns the raw numeric pid.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A user identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uid(pub u32);
+
+impl Uid {
+    /// The superuser.
+    pub const ROOT: Uid = Uid(0);
+
+    /// Returns true if this uid is the superuser.
+    pub fn is_root(self) -> bool {
+        self == Uid::ROOT
+    }
+
+    /// Returns the raw numeric uid.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A group identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gid(pub u32);
+
+impl Gid {
+    /// The wheel/system group.
+    pub const WHEEL: Gid = Gid(0);
+
+    /// Returns the raw numeric gid.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The credentials carried in the user structure and saved by `SIGDUMP`.
+///
+/// The paper's `stackXXXXX` file records "the user credentials (such as user
+/// and group id)"; `restart` re-establishes them with `setreuid()` before
+/// calling `rest_proc()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Credentials {
+    /// Real user id.
+    pub ruid: Uid,
+    /// Effective user id.
+    pub euid: Uid,
+    /// Real group id.
+    pub rgid: Gid,
+    /// Effective group id.
+    pub egid: Gid,
+}
+
+impl Credentials {
+    /// Credentials of the superuser.
+    pub fn root() -> Credentials {
+        Credentials {
+            ruid: Uid::ROOT,
+            euid: Uid::ROOT,
+            rgid: Gid::WHEEL,
+            egid: Gid::WHEEL,
+        }
+    }
+
+    /// Credentials of an ordinary user whose real and effective ids agree.
+    pub fn user(uid: Uid, gid: Gid) -> Credentials {
+        Credentials {
+            ruid: uid,
+            euid: uid,
+            rgid: gid,
+            egid: gid,
+        }
+    }
+
+    /// Returns true if these credentials may send a signal to (or dump /
+    /// restart) a process owned by `owner`.
+    ///
+    /// The paper: "for security reasons, only the superuser or the owner of
+    /// the process can kill a process in this way".
+    pub fn may_control(&self, owner: Uid) -> bool {
+        self.euid.is_root() || self.ruid == owner || self.euid == owner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_may_control_anyone() {
+        let root = Credentials::root();
+        assert!(root.may_control(Uid(123)));
+    }
+
+    #[test]
+    fn owner_may_control_self() {
+        let c = Credentials::user(Uid(7), Gid(7));
+        assert!(c.may_control(Uid(7)));
+        assert!(!c.may_control(Uid(8)));
+    }
+
+    #[test]
+    fn pid_ordering_and_display() {
+        assert!(Pid(2) > Pid::INIT);
+        assert_eq!(Pid(1234).to_string(), "1234");
+        assert_eq!(Uid::ROOT.to_string(), "0");
+    }
+}

@@ -1,0 +1,110 @@
+//! File modes and permission bits.
+
+use crate::ids::{Credentials, Gid, Uid};
+use core::fmt;
+
+/// A file permission/mode word, as in `chmod(2)`.
+///
+/// Only the low nine permission bits are interpreted; file *type* is kept in
+/// the inode kind, not the mode word, so the simulated kernel cannot get the
+/// two out of sync.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FileMode(pub u16);
+
+impl FileMode {
+    /// `rw-r--r--`, the usual mode for created files.
+    pub const REG_DEFAULT: FileMode = FileMode(0o644);
+    /// `rwxr-xr-x`, the usual mode for directories and executables.
+    pub const DIR_DEFAULT: FileMode = FileMode(0o755);
+    /// `rw-rw-rw-`, the usual mode for devices like `/dev/null` and ttys.
+    pub const DEV_DEFAULT: FileMode = FileMode(0o666);
+
+    /// Owner-read bit.
+    pub const IREAD: u16 = 0o400;
+    /// Owner-write bit.
+    pub const IWRITE: u16 = 0o200;
+    /// Owner-execute bit.
+    pub const IEXEC: u16 = 0o100;
+
+    /// Returns the raw mode word.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Checks an access request (`want` is a mask of [`Access`] bits) by
+    /// `cred` against a file owned by `owner`/`group`.
+    ///
+    /// The superuser passes every check, as in the original kernel.
+    pub fn allows(self, cred: &Credentials, owner: Uid, group: Gid, want: Access) -> bool {
+        if cred.euid.is_root() {
+            return true;
+        }
+        let shift = if cred.euid == owner {
+            6
+        } else if cred.egid == group {
+            3
+        } else {
+            0
+        };
+        let granted = (self.0 >> shift) & 0o7;
+        (granted & want.mask()) == want.mask()
+    }
+}
+
+impl fmt::Display for FileMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.0)
+    }
+}
+
+/// An access request used with [`FileMode::allows`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Read permission.
+    Read,
+    /// Write permission.
+    Write,
+    /// Execute (files) or search (directories) permission.
+    Exec,
+    /// Both read and write.
+    ReadWrite,
+}
+
+impl Access {
+    fn mask(self) -> u16 {
+        match self {
+            Access::Read => 0o4,
+            Access::Write => 0o2,
+            Access::Exec => 0o1,
+            Access::ReadWrite => 0o6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_group_other_classes() {
+        let mode = FileMode(0o640);
+        let owner = Credentials::user(Uid(10), Gid(20));
+        let groupie = Credentials::user(Uid(11), Gid(20));
+        let other = Credentials::user(Uid(12), Gid(21));
+        assert!(mode.allows(&owner, Uid(10), Gid(20), Access::ReadWrite));
+        assert!(mode.allows(&groupie, Uid(10), Gid(20), Access::Read));
+        assert!(!mode.allows(&groupie, Uid(10), Gid(20), Access::Write));
+        assert!(!mode.allows(&other, Uid(10), Gid(20), Access::Read));
+    }
+
+    #[test]
+    fn root_bypasses_mode() {
+        let mode = FileMode(0o000);
+        assert!(mode.allows(&Credentials::root(), Uid(10), Gid(20), Access::ReadWrite));
+    }
+
+    #[test]
+    fn display_is_octal() {
+        assert_eq!(FileMode(0o644).to_string(), "0644");
+    }
+}

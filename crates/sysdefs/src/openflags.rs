@@ -1,0 +1,150 @@
+//! Open-file flags, following 4.2BSD `file.h` / `fcntl.h`.
+
+use core::fmt;
+
+use crate::Errno;
+
+/// Flags passed to `open(2)` and recorded per open-file-table entry.
+///
+/// These are the "file access flags (e.g., read only etc.)" that the
+/// paper's `filesXXXXX` dump records for every open file so that `restart`
+/// can reopen it "with the correct access modes".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpenFlags(pub u16);
+
+impl OpenFlags {
+    /// Open for reading only.
+    pub const RDONLY: OpenFlags = OpenFlags(0o0);
+    /// Open for writing only.
+    pub const WRONLY: OpenFlags = OpenFlags(0o1);
+    /// Open for reading and writing.
+    pub const RDWR: OpenFlags = OpenFlags(0o2);
+
+    /// Append on each write.
+    pub const APPEND: u16 = 0o10;
+    /// Create the file if it does not exist.
+    pub const CREAT: u16 = 0o1000;
+    /// Truncate to zero length.
+    pub const TRUNC: u16 = 0o2000;
+    /// Fail if the file already exists (with CREAT).
+    pub const EXCL: u16 = 0o4000;
+
+    const ACCMODE: u16 = 0o3;
+
+    /// Returns the raw flag word.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Builds flags from a raw word, validating the access-mode field.
+    pub fn from_bits(bits: u16) -> Result<OpenFlags, Errno> {
+        if bits & Self::ACCMODE == 0o3 {
+            return Err(Errno::EINVAL);
+        }
+        Ok(OpenFlags(bits))
+    }
+
+    /// Adds the given extra flag bits (`APPEND`, `CREAT`, ...).
+    pub fn with(self, extra: u16) -> OpenFlags {
+        OpenFlags(self.0 | extra)
+    }
+
+    /// Returns true if reads are permitted through this descriptor.
+    pub fn readable(self) -> bool {
+        self.0 & Self::ACCMODE != Self::WRONLY.0
+    }
+
+    /// Returns true if writes are permitted through this descriptor.
+    pub fn writable(self) -> bool {
+        self.0 & Self::ACCMODE != Self::RDONLY.0
+    }
+
+    /// Returns true if the append bit is set.
+    pub fn append(self) -> bool {
+        self.0 & Self::APPEND != 0
+    }
+
+    /// Returns true if the create bit is set.
+    pub fn creat(self) -> bool {
+        self.0 & Self::CREAT != 0
+    }
+
+    /// Returns true if the truncate bit is set.
+    pub fn trunc(self) -> bool {
+        self.0 & Self::TRUNC != 0
+    }
+
+    /// Returns true if the exclusive bit is set.
+    pub fn excl(self) -> bool {
+        self.0 & Self::EXCL != 0
+    }
+
+    /// The flags a *reopen* after migration should use: access mode and
+    /// append bit only. `CREAT`/`TRUNC`/`EXCL` describe how the file was
+    /// first opened and must not be replayed, or `restart` would truncate
+    /// the very file contents the process still needs.
+    pub fn reopen_flags(self) -> OpenFlags {
+        OpenFlags(self.0 & (Self::ACCMODE | Self::APPEND))
+    }
+}
+
+impl fmt::Display for OpenFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let acc = match self.0 & Self::ACCMODE {
+            0o0 => "RDONLY",
+            0o1 => "WRONLY",
+            _ => "RDWR",
+        };
+        write!(f, "{acc}")?;
+        if self.append() {
+            write!(f, "|APPEND")?;
+        }
+        if self.creat() {
+            write!(f, "|CREAT")?;
+        }
+        if self.trunc() {
+            write!(f, "|TRUNC")?;
+        }
+        if self.excl() {
+            write!(f, "|EXCL")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_modes() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(OpenFlags::RDWR.readable());
+        assert!(OpenFlags::RDWR.writable());
+    }
+
+    #[test]
+    fn invalid_accmode_rejected() {
+        assert_eq!(OpenFlags::from_bits(0o3), Err(Errno::EINVAL));
+        assert!(OpenFlags::from_bits(0o2).is_ok());
+    }
+
+    #[test]
+    fn reopen_drops_creat_trunc() {
+        let f = OpenFlags::WRONLY.with(OpenFlags::CREAT | OpenFlags::TRUNC | OpenFlags::APPEND);
+        let r = f.reopen_flags();
+        assert!(r.writable());
+        assert!(r.append());
+        assert!(!r.creat());
+        assert!(!r.trunc());
+    }
+
+    #[test]
+    fn display_lists_bits() {
+        let f = OpenFlags::RDWR.with(OpenFlags::APPEND);
+        assert_eq!(f.to_string(), "RDWR|APPEND");
+    }
+}

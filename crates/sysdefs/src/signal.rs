@@ -1,0 +1,284 @@
+//! Signal numbers and default dispositions, following 4.2BSD `signal.h`
+//! plus the paper's new `SIGDUMP`.
+
+use core::fmt;
+
+use crate::Errno;
+
+/// A signal number.
+///
+/// Values 1..=31 are the 4.2BSD signals. Value 32 is the paper's addition:
+/// `SIGDUMP`, whose default action terminates the process after dumping the
+/// three migration files (`a.outXXXXX`, `filesXXXXX`, `stackXXXXX`) to
+/// `/usr/tmp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Signal {
+    /// Hangup.
+    SIGHUP = 1,
+    /// Interrupt (rubout).
+    SIGINT = 2,
+    /// Quit (ASCII FS); dumps a `core` file.
+    SIGQUIT = 3,
+    /// Illegal instruction.
+    SIGILL = 4,
+    /// Trace trap.
+    SIGTRAP = 5,
+    /// IOT instruction / abort.
+    SIGIOT = 6,
+    /// EMT instruction.
+    SIGEMT = 7,
+    /// Floating point exception.
+    SIGFPE = 8,
+    /// Kill (cannot be caught or ignored).
+    SIGKILL = 9,
+    /// Bus error.
+    SIGBUS = 10,
+    /// Segmentation violation.
+    SIGSEGV = 11,
+    /// Bad argument to system call.
+    SIGSYS = 12,
+    /// Write on a pipe with no one to read it.
+    SIGPIPE = 13,
+    /// Alarm clock.
+    SIGALRM = 14,
+    /// Software termination signal.
+    SIGTERM = 15,
+    /// Urgent condition on I/O channel.
+    SIGURG = 16,
+    /// Sendable stop signal not from tty.
+    SIGSTOP = 17,
+    /// Stop signal from tty.
+    SIGTSTP = 18,
+    /// Continue a stopped process.
+    SIGCONT = 19,
+    /// To parent on child stop or exit.
+    SIGCHLD = 20,
+    /// To readers pgrp upon background tty read.
+    SIGTTIN = 21,
+    /// Like TTIN for output.
+    SIGTTOU = 22,
+    /// Input/output possible.
+    SIGIO = 23,
+    /// Exceeded CPU time limit.
+    SIGXCPU = 24,
+    /// Exceeded file size limit.
+    SIGXFSZ = 25,
+    /// Virtual time alarm.
+    SIGVTALRM = 26,
+    /// Profiling time alarm.
+    SIGPROF = 27,
+    /// Window size changes.
+    SIGWINCH = 28,
+    /// Information request.
+    SIGINFO = 29,
+    /// User defined signal 1.
+    SIGUSR1 = 30,
+    /// User defined signal 2.
+    SIGUSR2 = 31,
+    /// **New in this system**: terminate the process, dumping everything
+    /// needed to restart it (the paper's migration signal).
+    SIGDUMP = 32,
+}
+
+impl Signal {
+    /// All signals, in numeric order.
+    pub const ALL: [Signal; 32] = [
+        Signal::SIGHUP,
+        Signal::SIGINT,
+        Signal::SIGQUIT,
+        Signal::SIGILL,
+        Signal::SIGTRAP,
+        Signal::SIGIOT,
+        Signal::SIGEMT,
+        Signal::SIGFPE,
+        Signal::SIGKILL,
+        Signal::SIGBUS,
+        Signal::SIGSEGV,
+        Signal::SIGSYS,
+        Signal::SIGPIPE,
+        Signal::SIGALRM,
+        Signal::SIGTERM,
+        Signal::SIGURG,
+        Signal::SIGSTOP,
+        Signal::SIGTSTP,
+        Signal::SIGCONT,
+        Signal::SIGCHLD,
+        Signal::SIGTTIN,
+        Signal::SIGTTOU,
+        Signal::SIGIO,
+        Signal::SIGXCPU,
+        Signal::SIGXFSZ,
+        Signal::SIGVTALRM,
+        Signal::SIGPROF,
+        Signal::SIGWINCH,
+        Signal::SIGINFO,
+        Signal::SIGUSR1,
+        Signal::SIGUSR2,
+        Signal::SIGDUMP,
+    ];
+
+    /// Converts a numeric signal to the enum, failing with `EINVAL` for
+    /// out-of-range numbers (as `kill(2)` does).
+    pub fn from_number(n: u32) -> Result<Signal, Errno> {
+        if n == 0 || n as usize > Signal::ALL.len() {
+            return Err(Errno::EINVAL);
+        }
+        Ok(Signal::ALL[n as usize - 1])
+    }
+
+    /// Returns the signal number.
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// Returns the default action taken when the signal is delivered and
+    /// neither caught nor ignored.
+    pub fn default_action(self) -> DefaultAction {
+        match self {
+            Signal::SIGQUIT
+            | Signal::SIGILL
+            | Signal::SIGTRAP
+            | Signal::SIGIOT
+            | Signal::SIGEMT
+            | Signal::SIGFPE
+            | Signal::SIGBUS
+            | Signal::SIGSEGV
+            | Signal::SIGSYS => DefaultAction::CoreDump,
+            Signal::SIGDUMP => DefaultAction::MigrationDump,
+            Signal::SIGSTOP | Signal::SIGTSTP | Signal::SIGTTIN | Signal::SIGTTOU => {
+                DefaultAction::Stop
+            }
+            Signal::SIGCONT => DefaultAction::Continue,
+            Signal::SIGCHLD
+            | Signal::SIGURG
+            | Signal::SIGIO
+            | Signal::SIGWINCH
+            | Signal::SIGINFO => DefaultAction::Ignore,
+            _ => DefaultAction::Terminate,
+        }
+    }
+
+    /// True for the two signals that can be neither caught nor ignored.
+    pub fn uncatchable(self) -> bool {
+        matches!(self, Signal::SIGKILL | Signal::SIGSTOP)
+    }
+
+    /// The conventional name, e.g. `"SIGDUMP"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::SIGHUP => "SIGHUP",
+            Signal::SIGINT => "SIGINT",
+            Signal::SIGQUIT => "SIGQUIT",
+            Signal::SIGILL => "SIGILL",
+            Signal::SIGTRAP => "SIGTRAP",
+            Signal::SIGIOT => "SIGIOT",
+            Signal::SIGEMT => "SIGEMT",
+            Signal::SIGFPE => "SIGFPE",
+            Signal::SIGKILL => "SIGKILL",
+            Signal::SIGBUS => "SIGBUS",
+            Signal::SIGSEGV => "SIGSEGV",
+            Signal::SIGSYS => "SIGSYS",
+            Signal::SIGPIPE => "SIGPIPE",
+            Signal::SIGALRM => "SIGALRM",
+            Signal::SIGTERM => "SIGTERM",
+            Signal::SIGURG => "SIGURG",
+            Signal::SIGSTOP => "SIGSTOP",
+            Signal::SIGTSTP => "SIGTSTP",
+            Signal::SIGCONT => "SIGCONT",
+            Signal::SIGCHLD => "SIGCHLD",
+            Signal::SIGTTIN => "SIGTTIN",
+            Signal::SIGTTOU => "SIGTTOU",
+            Signal::SIGIO => "SIGIO",
+            Signal::SIGXCPU => "SIGXCPU",
+            Signal::SIGXFSZ => "SIGXFSZ",
+            Signal::SIGVTALRM => "SIGVTALRM",
+            Signal::SIGPROF => "SIGPROF",
+            Signal::SIGWINCH => "SIGWINCH",
+            Signal::SIGINFO => "SIGINFO",
+            Signal::SIGUSR1 => "SIGUSR1",
+            Signal::SIGUSR2 => "SIGUSR2",
+            Signal::SIGDUMP => "SIGDUMP",
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What delivering an unhandled signal does to the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefaultAction {
+    /// Terminate the process.
+    Terminate,
+    /// Terminate and write a `core` file (the `SIGQUIT` family).
+    CoreDump,
+    /// Terminate and write the three migration dump files (`SIGDUMP`).
+    MigrationDump,
+    /// Stop (suspend) the process.
+    Stop,
+    /// Continue a stopped process.
+    Continue,
+    /// Discard the signal.
+    Ignore,
+}
+
+/// A per-signal disposition as set with `sigvec(2)`.
+///
+/// This is exactly "the information kept in the user and process structures
+/// that is related to the disposition of signals" that the paper's
+/// `stackXXXXX` file preserves: which signals are caught or ignored and the
+/// handler addresses for the caught ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Disposition {
+    /// Take the default action.
+    #[default]
+    Default,
+    /// Discard the signal.
+    Ignore,
+    /// Call a handler at this (guest) address.
+    Handler(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigdump_is_32_and_dumps() {
+        assert_eq!(Signal::SIGDUMP.number(), 32);
+        assert_eq!(
+            Signal::SIGDUMP.default_action(),
+            DefaultAction::MigrationDump
+        );
+    }
+
+    #[test]
+    fn sigquit_core_dumps() {
+        assert_eq!(Signal::SIGQUIT.default_action(), DefaultAction::CoreDump);
+    }
+
+    #[test]
+    fn number_round_trip() {
+        for s in Signal::ALL {
+            assert_eq!(Signal::from_number(s.number()).unwrap(), s);
+        }
+        assert_eq!(Signal::from_number(0), Err(Errno::EINVAL));
+        assert_eq!(Signal::from_number(33), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn kill_and_stop_uncatchable() {
+        assert!(Signal::SIGKILL.uncatchable());
+        assert!(Signal::SIGSTOP.uncatchable());
+        assert!(!Signal::SIGDUMP.uncatchable());
+    }
+
+    #[test]
+    fn chld_ignored_by_default() {
+        assert_eq!(Signal::SIGCHLD.default_action(), DefaultAction::Ignore);
+    }
+}

@@ -1,0 +1,212 @@
+//! System-call numbers for the simulated kernel.
+//!
+//! The numbering follows 4.2BSD where a call existed there; the paper's
+//! additions and our few simulator conveniences are placed above 150, the
+//! way local kernels customarily extended the table.
+
+use crate::Errno;
+use core::fmt;
+
+/// A system-call number, as placed in `d0` before a `TRAP #0` by guest
+/// (VM) programs, or named directly by native programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Sysno {
+    /// Terminate the calling process.
+    Exit = 1,
+    /// Create a new process.
+    Fork = 2,
+    /// Read from a descriptor.
+    Read = 3,
+    /// Write to a descriptor.
+    Write = 4,
+    /// Open a file.
+    Open = 5,
+    /// Close a descriptor.
+    Close = 6,
+    /// Wait for a child to terminate.
+    Wait = 7,
+    /// Create a file and open it for output.
+    Creat = 8,
+    /// Make a hard link.
+    Link = 9,
+    /// Remove a directory entry.
+    Unlink = 10,
+    /// Change the current working directory.
+    Chdir = 12,
+    /// Get file status (by path).
+    Stat = 18,
+    /// Move the read/write pointer.
+    Lseek = 19,
+    /// Get the process id.
+    Getpid = 20,
+    /// Set real and effective user ids.
+    Setreuid = 126,
+    /// Get the real user id.
+    Getuid = 24,
+    /// Send a signal to a process.
+    Kill = 37,
+    /// Duplicate a descriptor.
+    Dup = 41,
+    /// Create a pipe.
+    Pipe = 42,
+    /// Set a signal disposition (simplified `sigvec`).
+    Sigvec = 108,
+    /// Set the blocked-signal mask, returning the old one.
+    Sigsetmask = 110,
+    /// Schedule a SIGALRM after N seconds (0 cancels); returns seconds
+    /// that remained on any previous alarm.
+    Alarm = 27,
+    /// Return from a signal handler.
+    Sigreturn = 139,
+    /// Make a directory.
+    Mkdir = 136,
+    /// Make a symbolic link.
+    Symlink = 57,
+    /// Read the value of a symbolic link.
+    Readlink = 58,
+    /// Execute a file.
+    Execve = 59,
+    /// Get/set terminal parameters (simplified `ioctl`).
+    Ioctl = 54,
+    /// Create a socket (only far enough to demonstrate the limitation).
+    Socket = 97,
+    /// Get the hostname.
+    Gethostname = 87,
+    /// Get the time of day (virtual micro-seconds since boot).
+    Gettimeofday = 116,
+    /// Sleep for a number of micro-seconds (simulator convenience; the
+    /// original used `sleep(3)` built on `alarm`/`pause`).
+    Sleep = 150,
+    /// **New in this system**: overlay the caller with a dumped process
+    /// image, resuming it where `SIGDUMP` stopped it (the paper's addition).
+    RestProc = 151,
+    /// Extension (§7 of the paper): the true process id even when id
+    /// virtualization is enabled.
+    GetpidReal = 152,
+    /// Extension (§7 of the paper): the true hostname even when id
+    /// virtualization is enabled.
+    GethostnameReal = 153,
+    /// Get the current working directory string (the kernel knows it now —
+    /// this is the paper's `user`-structure modification made visible).
+    Getwd = 154,
+}
+
+impl Sysno {
+    /// Decodes a raw syscall number from a trap.
+    pub fn from_number(n: u32) -> Result<Sysno, Errno> {
+        use Sysno::*;
+        Ok(match n {
+            1 => Exit,
+            2 => Fork,
+            3 => Read,
+            4 => Write,
+            5 => Open,
+            6 => Close,
+            7 => Wait,
+            8 => Creat,
+            9 => Link,
+            10 => Unlink,
+            12 => Chdir,
+            18 => Stat,
+            19 => Lseek,
+            20 => Getpid,
+            24 => Getuid,
+            37 => Kill,
+            41 => Dup,
+            42 => Pipe,
+            54 => Ioctl,
+            57 => Symlink,
+            58 => Readlink,
+            59 => Execve,
+            87 => Gethostname,
+            97 => Socket,
+            108 => Sigvec,
+            110 => Sigsetmask,
+            27 => Alarm,
+            116 => Gettimeofday,
+            126 => Setreuid,
+            136 => Mkdir,
+            139 => Sigreturn,
+            150 => Sleep,
+            151 => RestProc,
+            152 => GetpidReal,
+            153 => GethostnameReal,
+            154 => Getwd,
+            _ => return Err(Errno::EINVAL),
+        })
+    }
+
+    /// Returns the raw table index.
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+}
+
+impl fmt::Display for Sysno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all() {
+        use Sysno::*;
+        for s in [
+            Exit,
+            Fork,
+            Read,
+            Write,
+            Open,
+            Close,
+            Wait,
+            Creat,
+            Link,
+            Unlink,
+            Chdir,
+            Stat,
+            Lseek,
+            Getpid,
+            Getuid,
+            Kill,
+            Dup,
+            Pipe,
+            Ioctl,
+            Symlink,
+            Readlink,
+            Execve,
+            Gethostname,
+            Socket,
+            Sigvec,
+            Sigsetmask,
+            Alarm,
+            Gettimeofday,
+            Setreuid,
+            Mkdir,
+            Sigreturn,
+            Sleep,
+            RestProc,
+            GetpidReal,
+            GethostnameReal,
+            Getwd,
+        ] {
+            assert_eq!(Sysno::from_number(s.number()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn unknown_number_is_einval() {
+        assert_eq!(Sysno::from_number(0), Err(Errno::EINVAL));
+        assert_eq!(Sysno::from_number(9999), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn paper_additions_are_local_numbers() {
+        assert_eq!(Sysno::RestProc.number(), 151);
+        assert!(Sysno::RestProc.number() > 150 - 1);
+    }
+}

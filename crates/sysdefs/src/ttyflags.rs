@@ -1,0 +1,153 @@
+//! Terminal mode flags, following the old `sgttyb` interface of 4.2BSD.
+//!
+//! The paper's `filesXXXXX` dump records "the terminal flags, specifying
+//! such things as raw mode, echo/noecho, etc.", and `restart` re-applies
+//! them so that "visual applications such as screen editors can be
+//! restarted properly". This module is that flag word.
+
+use core::fmt;
+
+/// The `sg_flags` word of a terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TtyFlags(pub u16);
+
+impl TtyFlags {
+    /// Expand tabs on output.
+    pub const XTABS: u16 = 0o0002;
+    /// Echo input characters.
+    pub const ECHO: u16 = 0o0010;
+    /// Map CR into LF; echo LF or CR as CR-LF.
+    pub const CRMOD: u16 = 0o0020;
+    /// Raw mode: wake up on all characters, 8-bit interface, no input
+    /// processing at all.
+    pub const RAW: u16 = 0o0040;
+    /// Half-duplex (historical; kept for the flag word's completeness).
+    pub const TANDEM: u16 = 0o0001;
+    /// Single-character wakeup but with output processing (cbreak).
+    pub const CBREAK: u16 = 0o0100;
+
+    /// The default "cooked" terminal: echo on, CR mapping, tab expansion.
+    pub fn cooked() -> TtyFlags {
+        TtyFlags(Self::ECHO | Self::CRMOD | Self::XTABS)
+    }
+
+    /// A raw, no-echo terminal, the mode a screen editor sets.
+    pub fn raw_noecho() -> TtyFlags {
+        TtyFlags(Self::RAW)
+    }
+
+    /// Returns the raw flag word.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Builds the flag word back from its raw bits (all bit patterns are
+    /// representable, as on the real device).
+    pub fn from_bits(bits: u16) -> TtyFlags {
+        TtyFlags(bits)
+    }
+
+    /// Is the terminal in raw mode (char-at-a-time, no processing)?
+    pub fn is_raw(self) -> bool {
+        self.0 & Self::RAW != 0
+    }
+
+    /// Is the terminal in cbreak (char-at-a-time with output processing)?
+    pub fn is_cbreak(self) -> bool {
+        self.0 & Self::CBREAK != 0
+    }
+
+    /// Does the terminal echo input?
+    pub fn echoes(self) -> bool {
+        self.0 & Self::ECHO != 0
+    }
+
+    /// Does the terminal deliver input a character at a time (either raw
+    /// or cbreak), as opposed to canonical line-at-a-time?
+    pub fn char_at_a_time(self) -> bool {
+        self.is_raw() || self.is_cbreak()
+    }
+
+    /// Sets or clears a flag bit.
+    pub fn set(self, bit: u16, on: bool) -> TtyFlags {
+        if on {
+            TtyFlags(self.0 | bit)
+        } else {
+            TtyFlags(self.0 & !bit)
+        }
+    }
+}
+
+impl Default for TtyFlags {
+    fn default() -> Self {
+        TtyFlags::cooked()
+    }
+}
+
+impl fmt::Display for TtyFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.is_raw() {
+            parts.push("RAW");
+        }
+        if self.is_cbreak() {
+            parts.push("CBREAK");
+        }
+        if self.echoes() {
+            parts.push("ECHO");
+        }
+        if self.0 & Self::CRMOD != 0 {
+            parts.push("CRMOD");
+        }
+        if self.0 & Self::XTABS != 0 {
+            parts.push("XTABS");
+        }
+        if self.0 & Self::TANDEM != 0 {
+            parts.push("TANDEM");
+        }
+        if parts.is_empty() {
+            parts.push("(none)");
+        }
+        f.write_str(&parts.join("|"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooked_echoes_and_is_canonical() {
+        let t = TtyFlags::cooked();
+        assert!(t.echoes());
+        assert!(!t.char_at_a_time());
+    }
+
+    #[test]
+    fn raw_noecho_for_editors() {
+        let t = TtyFlags::raw_noecho();
+        assert!(t.is_raw());
+        assert!(!t.echoes());
+        assert!(t.char_at_a_time());
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let t = TtyFlags::cooked().set(TtyFlags::RAW, true);
+        assert_eq!(TtyFlags::from_bits(t.bits()), t);
+    }
+
+    #[test]
+    fn set_clear() {
+        let t = TtyFlags::cooked().set(TtyFlags::ECHO, false);
+        assert!(!t.echoes());
+        let t = t.set(TtyFlags::ECHO, true);
+        assert!(t.echoes());
+    }
+
+    #[test]
+    fn display_names_modes() {
+        assert_eq!(TtyFlags::raw_noecho().to_string(), "RAW");
+        assert!(TtyFlags::cooked().to_string().contains("ECHO"));
+    }
+}

@@ -1,0 +1,318 @@
+//! One workstation: filesystem, process table, open-file table, clock.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use m68vm::IsaLevel;
+use simtime::cost::Cost;
+use simtime::{SimDuration, SimTime};
+use sysdefs::{Credentials, FileMode, Pid};
+use vfs::{DeviceId, Filesystem, Ino};
+
+use crate::file::FileTable;
+use crate::proc::Proc;
+
+/// Index of a machine within the world.
+pub type MachineId = usize;
+
+/// A byte queue shared by pipe/socket endpoints.
+#[derive(Clone, Debug, Default)]
+pub struct PipeBuf {
+    /// Buffered bytes.
+    pub data: VecDeque<u8>,
+    /// Live read-side references.
+    pub readers: u32,
+    /// Live write-side references.
+    pub writers: u32,
+}
+
+/// A connected socket pair: two one-directional byte queues.
+#[derive(Clone, Debug, Default)]
+pub struct SocketPair {
+    /// `bufs[0]` carries side-0-to-side-1 traffic; `bufs[1]` the reverse.
+    pub bufs: [PipeBuf; 2],
+}
+
+/// Per-machine event counters.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// System calls executed.
+    pub syscalls: u64,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// Signals delivered.
+    pub signals: u64,
+    /// NFS RPCs issued as a client.
+    pub nfs_rpcs: u64,
+    /// Forks.
+    pub forks: u64,
+    /// Successful `execve`s (including from `rest_proc`).
+    pub execs: u64,
+    /// `SIGDUMP` dumps written.
+    pub dumps: u64,
+    /// `rest_proc` restores completed.
+    pub restores: u64,
+}
+
+/// Kernel-side timing of one system call (the paper's Fig. 3 is
+/// measured "by adding timing code inside the kernel, as these system
+/// calls destroy the process that invoked them").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallTiming {
+    /// CPU time charged during the call.
+    pub cpu: SimDuration,
+    /// Elapsed real time of the call.
+    pub real: SimDuration,
+}
+
+/// One workstation.
+#[derive(Debug)]
+pub struct Machine {
+    /// Index within the world.
+    pub id: MachineId,
+    /// Host name.
+    pub name: String,
+    /// CPU generation: programs requiring a superset ISA fault here.
+    pub isa: IsaLevel,
+    /// The local filesystem.
+    pub fs: Filesystem,
+    /// Process table, keyed by pid.
+    pub procs: BTreeMap<u32, Proc>,
+    /// Run queue (round robin).
+    pub run_queue: VecDeque<Pid>,
+    /// The machine-wide open-file table.
+    pub files: FileTable,
+    /// NFS mounts: host name to machine id, realised under `/n/<host>`.
+    pub mounts: BTreeMap<String, MachineId>,
+    /// This machine's local clock.
+    pub now: SimTime,
+    /// Cumulative CPU-busy time (for load statistics).
+    pub busy: SimDuration,
+    /// The last process that held the CPU (context-switch accounting).
+    pub last_run: Option<Pid>,
+    /// Pipe buffers.
+    pub pipes: Vec<Option<PipeBuf>>,
+    /// Socket pairs.
+    pub sockets: Vec<Option<SocketPair>>,
+    /// §5.2: the global flag `execve()` checks — "if set, indicates that
+    /// it is called from within `rest_proc()`".
+    pub exec_mig_flag: bool,
+    /// §5.2: the companion global holding the exact initial stack to
+    /// allocate ("as many bytes as are indicated in another global
+    /// variable").
+    pub exec_mig_stack: Vec<u8>,
+    /// Paths whose inodes are in the buffer cache (namei warm set).
+    pub warm_paths: HashSet<String>,
+    /// Event counters.
+    pub stats: MachineStats,
+    /// Peak kernel memory held by file-name strings (§5.1 memory
+    /// argument / A3 ablation).
+    pub name_bytes_peak: usize,
+    /// Kernel timing of the last successful `execve` (Fig. 3).
+    pub last_execve: Option<CallTiming>,
+    /// Kernel timing of the last successful `rest_proc` (Fig. 3).
+    pub last_rest_proc: Option<CallTiming>,
+    /// User-level time the last `rest_proc` caller had consumed before
+    /// entering the call (the `restart` application's own share).
+    pub last_rest_caller: Option<CallTiming>,
+    /// The inode of `/n`, where remote mounts attach.
+    pub n_dir: Ino,
+    /// The inode of `/dev`.
+    pub dev_dir: Ino,
+    next_pid: u32,
+}
+
+impl Machine {
+    /// Boots a machine: builds the filesystem skeleton (`/dev`, `/usr`,
+    /// `/usr/tmp`, `/etc`, `/bin`, `/u`, `/tmp`, `/n`) and devices.
+    pub fn boot(id: MachineId, name: &str, isa: IsaLevel) -> Machine {
+        let mut fs = Filesystem::new();
+        let root_cred = Credentials::root();
+        let root = fs.root();
+        let dev_dir = fs
+            .mkdir(root, "dev", FileMode::DIR_DEFAULT, &root_cred)
+            .expect("mkdir /dev");
+        fs.mknod(dev_dir, "null", DeviceId::Null, &root_cred)
+            .expect("mknod /dev/null");
+        let usr = fs
+            .mkdir(root, "usr", FileMode::DIR_DEFAULT, &root_cred)
+            .expect("mkdir /usr");
+        fs.mkdir(usr, "tmp", FileMode(0o777), &root_cred)
+            .expect("mkdir /usr/tmp");
+        fs.mkdir(root, "etc", FileMode::DIR_DEFAULT, &root_cred)
+            .expect("mkdir /etc");
+        fs.mkdir(root, "bin", FileMode::DIR_DEFAULT, &root_cred)
+            .expect("mkdir /bin");
+        fs.mkdir(root, "u", FileMode(0o777), &root_cred)
+            .expect("mkdir /u");
+        fs.mkdir(root, "tmp", FileMode(0o777), &root_cred)
+            .expect("mkdir /tmp");
+        let n_dir = fs
+            .mkdir(root, "n", FileMode::DIR_DEFAULT, &root_cred)
+            .expect("mkdir /n");
+        Machine {
+            id,
+            name: name.to_string(),
+            isa,
+            fs,
+            procs: BTreeMap::new(),
+            run_queue: VecDeque::new(),
+            files: FileTable::new(),
+            mounts: BTreeMap::new(),
+            now: SimTime::BOOT,
+            busy: SimDuration::ZERO,
+            last_run: None,
+            pipes: Vec::new(),
+            sockets: Vec::new(),
+            exec_mig_flag: false,
+            exec_mig_stack: Vec::new(),
+            warm_paths: HashSet::new(),
+            stats: MachineStats::default(),
+            name_bytes_peak: 0,
+            last_execve: None,
+            last_rest_proc: None,
+            last_rest_caller: None,
+            n_dir,
+            dev_dir,
+            next_pid: 2, // 1 is init.
+        }
+    }
+
+    /// Allocates the next pid.
+    pub fn alloc_pid(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        pid
+    }
+
+    /// Borrows a process.
+    pub fn proc_ref(&self, pid: Pid) -> Option<&Proc> {
+        self.procs.get(&pid.as_u32())
+    }
+
+    /// Mutably borrows a process.
+    pub fn proc_mut(&mut self, pid: Pid) -> Option<&mut Proc> {
+        self.procs.get_mut(&pid.as_u32())
+    }
+
+    /// Charges a cost: CPU time to the clock, the busy counter and (when
+    /// `pid` names a live process) the process's system time; wait time
+    /// advances the clock only.
+    pub fn charge_sys(&mut self, pid: Option<Pid>, cost: Cost) {
+        self.now += cost.cpu;
+        self.now += cost.wait;
+        self.busy += cost.cpu;
+        if let Some(pid) = pid {
+            if let Some(p) = self.proc_mut(pid) {
+                p.stime += cost.cpu;
+            }
+        }
+    }
+
+    /// Charges user-mode CPU time.
+    pub fn charge_user(&mut self, pid: Pid, cpu: SimDuration) {
+        self.now += cpu;
+        self.busy += cpu;
+        if let Some(p) = self.proc_mut(pid) {
+            p.utime += cpu;
+        }
+    }
+
+    /// Marks a path's inodes as cached, returning whether it was cold.
+    pub fn touch_path(&mut self, path: &str) -> bool {
+        self.warm_paths.insert(path.to_string())
+    }
+
+    /// Updates the name-memory peak statistic.
+    pub fn note_name_bytes(&mut self, fixed: bool) {
+        let cur = self.files.name_bytes(fixed);
+        if cur > self.name_bytes_peak {
+            self.name_bytes_peak = cur;
+        }
+    }
+
+    /// Enqueues a process at the back of the run queue if not present.
+    pub fn make_runnable(&mut self, pid: Pid) {
+        if let Some(p) = self.proc_mut(pid) {
+            p.state = crate::proc::ProcState::Runnable;
+        }
+        if !self.run_queue.contains(&pid) {
+            self.run_queue.push_back(pid);
+        }
+    }
+
+    /// Ensures an already-runnable process is queued (used after posting
+    /// a signal so delivery happens promptly).
+    pub fn nudge(&mut self, pid: Pid) {
+        let runnable = self
+            .proc_ref(pid)
+            .map(|p| p.state.is_runnable())
+            .unwrap_or(false);
+        if runnable && !self.run_queue.contains(&pid) {
+            self.run_queue.push_back(pid);
+        }
+    }
+
+    /// Number of live (non-zombie) processes, the `ps` view.
+    pub fn live_procs(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| !matches!(p.state, crate::proc::ProcState::Zombie { .. }))
+            .count()
+    }
+
+    /// CPU utilisation so far: busy time over elapsed time.
+    pub fn utilization(&self) -> f64 {
+        let elapsed = self.now.as_micros();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.busy.as_micros() as f64 / elapsed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::WalkOutcome;
+
+    #[test]
+    fn boot_builds_the_skeleton() {
+        let m = Machine::boot(0, "brick", IsaLevel::Isa1);
+        for path in ["dev", "usr", "etc", "bin", "u", "tmp", "n"] {
+            assert!(m.fs.lookup(m.fs.root(), path).is_ok(), "missing /{path}");
+        }
+        let out =
+            m.fs.walk(m.fs.root(), &["usr".into(), "tmp".into()], None)
+                .unwrap();
+        assert!(matches!(out, WalkOutcome::Done(_)));
+        let dev_null =
+            m.fs.walk(m.fs.root(), &["dev".into(), "null".into()], None)
+                .unwrap();
+        assert!(matches!(dev_null, WalkOutcome::Done(_)));
+    }
+
+    #[test]
+    fn pid_allocation_monotonic() {
+        let mut m = Machine::boot(0, "brick", IsaLevel::Isa1);
+        let a = m.alloc_pid();
+        let b = m.alloc_pid();
+        assert!(b > a);
+        assert!(a > Pid::INIT);
+    }
+
+    #[test]
+    fn charging_advances_clock_and_accounting() {
+        let mut m = Machine::boot(0, "brick", IsaLevel::Isa1);
+        m.charge_sys(None, Cost::cpu_us(100).plus(Cost::wait_us(900)));
+        assert_eq!(m.now.as_micros(), 1_000);
+        assert_eq!(m.busy.as_micros(), 100);
+        assert!((m.utilization() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_path_cache() {
+        let mut m = Machine::boot(0, "brick", IsaLevel::Isa1);
+        assert!(m.touch_path("/usr/tmp/x"), "first touch is cold");
+        assert!(!m.touch_path("/usr/tmp/x"), "second touch is warm");
+    }
+}

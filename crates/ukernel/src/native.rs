@@ -1,0 +1,655 @@
+//! Native processes: Rust utilities running under the simulated kernel.
+//!
+//! The paper's user-level programs (`dumpproc`, `restart`, `migrate`,
+//! daemons) are ordinary imperative code. To let them stay that way while
+//! the kernel remains a deterministic single-threaded simulation, each
+//! native process runs its program on a dedicated OS thread that
+//! **rendezvouses** with the kernel for every system call:
+//!
+//! 1. the program calls a [`Sys`] method, which sends a request and
+//!    blocks on the response channel;
+//! 2. when the scheduler next runs the process, the kernel receives the
+//!    request, executes it, charges its simulated cost, and replies;
+//! 3. the thread resumes.
+//!
+//! Only one side is ever active for a given process, so execution is
+//! deterministic. If the kernel kills the process (signal, shutdown) it
+//! drops the channel; every pending and future [`Sys`] call then fails
+//! with `EINTR` and the program unwinds naturally.
+//!
+//! A successful `rest_proc()` (or `execve()`) replies success and then
+//! replaces the process body with the VM image; the [`Sys`] wrapper turns
+//! that reply into a thread exit, so "there is no return from this system
+//! call", exactly as §4.3 specifies.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sysdefs::{Disposition, Errno, Pid, Signal, SysResult, TtyFlags};
+
+use crate::sys::args::{IoctlReq, Syscall, Whence};
+
+/// A native program body: takes its [`Sys`] handle, returns its exit
+/// status.
+pub type NativeProgram = Box<dyn FnOnce(&Sys) -> u32 + Send + 'static>;
+
+/// What a native thread sends to the kernel.
+pub enum Request {
+    /// An ordinary system call.
+    Syscall(Syscall),
+    /// Run a command on another machine through `rsh`, blocking until it
+    /// exits; the reply value is the remote exit status.
+    Rsh {
+        /// Destination host name.
+        host: String,
+        /// The remote command body.
+        prog: NativeProgram,
+        /// Remote command name for diagnostics.
+        comm: String,
+    },
+    /// Spawn a child native process on the *local* machine, blocking
+    /// until it exits (how `migrate` runs `dumpproc`/`restart` locally
+    /// without the cost of `rsh`). Reply value is the exit status.
+    RunLocal {
+        /// The command body.
+        prog: NativeProgram,
+        /// Command name for diagnostics.
+        comm: String,
+    },
+    /// Charge `units` of user-mode CPU (models the program's own
+    /// computation between system calls).
+    Compute {
+        /// Simple-instruction units.
+        units: u64,
+    },
+    /// Ask the migration daemon on another machine to run a command —
+    /// the §6.4 proposal: "instead of using rsh to start processes
+    /// remotely, applications will simply send messages to the daemon,
+    /// who will start the processes on their behalf." One network
+    /// message instead of a whole `rsh` session.
+    Daemon {
+        /// Destination host name.
+        host: String,
+        /// The remote command body.
+        prog: NativeProgram,
+        /// Remote command name for diagnostics.
+        comm: String,
+    },
+}
+
+/// The kernel's reply to a request.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Numeric result or errno.
+    pub val: Result<u32, Errno>,
+    /// Returned bytes for buffer-filling calls.
+    pub data: Vec<u8>,
+    /// True when the process was overlaid by a new image: the thread
+    /// must terminate without touching [`Sys`] again.
+    pub overlaid: bool,
+}
+
+impl Response {
+    /// A plain value reply.
+    pub fn of(val: Result<u32, Errno>) -> Response {
+        Response {
+            val,
+            data: Vec::new(),
+            overlaid: false,
+        }
+    }
+}
+
+/// The kernel's side of a native process: request receiver, response
+/// sender, and the thread handle.
+#[derive(Debug)]
+pub struct NativeChan {
+    /// Requests from the program.
+    pub req_rx: Receiver<Request>,
+    /// Responses to the program.
+    pub resp_tx: Sender<Response>,
+    /// The program thread (detached on drop).
+    pub join: Option<JoinHandle<()>>,
+}
+
+/// Panic payload used to unwind a thread whose process was overlaid.
+struct OverlayExit;
+
+/// The program's system-call interface.
+pub struct Sys {
+    req_tx: Sender<Request>,
+    resp_rx: Receiver<Response>,
+}
+
+impl Sys {
+    fn roundtrip(&self, req: Request) -> SysResult<Response> {
+        if self.req_tx.send(req).is_err() {
+            return Err(Errno::EINTR);
+        }
+        match self.resp_rx.recv() {
+            Ok(resp) if resp.overlaid => resume_unwind(Box::new(OverlayExit)),
+            Ok(resp) => Ok(resp),
+            Err(_) => Err(Errno::EINTR),
+        }
+    }
+
+    fn call(&self, sc: Syscall) -> SysResult<Response> {
+        self.roundtrip(Request::Syscall(sc))
+    }
+
+    fn val(&self, sc: Syscall) -> SysResult<u32> {
+        self.call(sc)?.val
+    }
+
+    /// Opens a file; returns the descriptor.
+    pub fn open(&self, path: &str, flags: u16) -> SysResult<usize> {
+        self.val(Syscall::Open {
+            path: path.into(),
+            flags,
+        })
+        .map(|v| v as usize)
+    }
+
+    /// Creates (truncating) and opens a file for writing.
+    pub fn creat(&self, path: &str, mode: u16) -> SysResult<usize> {
+        self.val(Syscall::Creat {
+            path: path.into(),
+            mode,
+        })
+        .map(|v| v as usize)
+    }
+
+    /// Reads up to `len` bytes.
+    pub fn read(&self, fd: usize, len: usize) -> SysResult<Vec<u8>> {
+        let resp = self.call(Syscall::Read {
+            fd,
+            len,
+            buf_addr: None,
+        })?;
+        resp.val?;
+        Ok(resp.data)
+    }
+
+    /// Reads the whole remainder of a file.
+    pub fn read_all(&self, fd: usize) -> SysResult<Vec<u8>> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.read(fd, 8192)?;
+            if chunk.is_empty() {
+                return Ok(out);
+            }
+            out.extend_from_slice(&chunk);
+        }
+    }
+
+    /// Writes bytes; returns the count written.
+    pub fn write(&self, fd: usize, bytes: &[u8]) -> SysResult<usize> {
+        self.val(Syscall::Write {
+            fd,
+            bytes: bytes.to_vec(),
+        })
+        .map(|v| v as usize)
+    }
+
+    /// Closes a descriptor.
+    pub fn close(&self, fd: usize) -> SysResult<()> {
+        self.val(Syscall::Close { fd }).map(|_| ())
+    }
+
+    /// Repositions a descriptor.
+    pub fn lseek(&self, fd: usize, offset: i64, whence: Whence) -> SysResult<u64> {
+        self.val(Syscall::Lseek { fd, offset, whence })
+            .map(|v| v as u64)
+    }
+
+    /// Changes the working directory.
+    pub fn chdir(&self, path: &str) -> SysResult<()> {
+        self.val(Syscall::Chdir { path: path.into() }).map(|_| ())
+    }
+
+    /// Returns a file's size, or the error.
+    pub fn stat_size(&self, path: &str) -> SysResult<u64> {
+        self.val(Syscall::Stat { path: path.into() })
+            .map(|v| v as u64)
+    }
+
+    /// Removes a name.
+    pub fn unlink(&self, path: &str) -> SysResult<()> {
+        self.val(Syscall::Unlink { path: path.into() }).map(|_| ())
+    }
+
+    /// Hard-links `old` to `new`.
+    pub fn link(&self, old: &str, new: &str) -> SysResult<()> {
+        self.val(Syscall::Link {
+            old: old.into(),
+            new: new.into(),
+        })
+        .map(|_| ())
+    }
+
+    /// Creates a symbolic link.
+    pub fn symlink(&self, target: &str, link: &str) -> SysResult<()> {
+        self.val(Syscall::Symlink {
+            target: target.into(),
+            link: link.into(),
+        })
+        .map(|_| ())
+    }
+
+    /// Reads a symbolic link's target.
+    pub fn readlink(&self, path: &str) -> SysResult<String> {
+        let resp = self.call(Syscall::Readlink {
+            path: path.into(),
+            buf_addr: None,
+            buf_len: sysdefs::MAXPATHLEN,
+        })?;
+        resp.val?;
+        Ok(String::from_utf8_lossy(&resp.data).into_owned())
+    }
+
+    /// Makes a directory.
+    pub fn mkdir(&self, path: &str, mode: u16) -> SysResult<()> {
+        self.val(Syscall::Mkdir {
+            path: path.into(),
+            mode,
+        })
+        .map(|_| ())
+    }
+
+    /// The (possibly virtualised) process id.
+    pub fn getpid(&self) -> SysResult<Pid> {
+        self.val(Syscall::Getpid).map(Pid)
+    }
+
+    /// The real uid.
+    pub fn getuid(&self) -> SysResult<u32> {
+        self.val(Syscall::Getuid)
+    }
+
+    /// Sends a signal.
+    pub fn kill(&self, pid: Pid, sig: Signal) -> SysResult<()> {
+        self.val(Syscall::Kill {
+            pid: pid.as_u32(),
+            sig: sig.number(),
+        })
+        .map(|_| ())
+    }
+
+    /// Duplicates a descriptor.
+    pub fn dup(&self, fd: usize) -> SysResult<usize> {
+        self.val(Syscall::Dup { fd }).map(|v| v as usize)
+    }
+
+    /// Sets real and effective uids (`u32::MAX` keeps a value).
+    pub fn setreuid(&self, ruid: u32, euid: u32) -> SysResult<()> {
+        self.val(Syscall::Setreuid { ruid, euid }).map(|_| ())
+    }
+
+    /// The (possibly virtualised) hostname.
+    pub fn gethostname(&self) -> SysResult<String> {
+        let resp = self.call(Syscall::Gethostname {
+            buf_addr: None,
+            buf_len: sysdefs::limits::MAXHOSTNAMELEN,
+        })?;
+        resp.val?;
+        Ok(String::from_utf8_lossy(&resp.data).into_owned())
+    }
+
+    /// §7 extension: the true pid.
+    pub fn getpid_real(&self) -> SysResult<Pid> {
+        self.val(Syscall::GetpidReal).map(Pid)
+    }
+
+    /// §7 extension: the true hostname.
+    pub fn gethostname_real(&self) -> SysResult<String> {
+        let resp = self.call(Syscall::GethostnameReal {
+            buf_addr: None,
+            buf_len: sysdefs::limits::MAXHOSTNAMELEN,
+        })?;
+        resp.val?;
+        Ok(String::from_utf8_lossy(&resp.data).into_owned())
+    }
+
+    /// The kernel's current-working-directory string.
+    pub fn getwd(&self) -> SysResult<String> {
+        let resp = self.call(Syscall::Getwd {
+            buf_addr: None,
+            buf_len: sysdefs::MAXPATHLEN,
+        })?;
+        resp.val?;
+        Ok(String::from_utf8_lossy(&resp.data).into_owned())
+    }
+
+    /// Terminal mode query on a descriptor.
+    pub fn gtty(&self, fd: usize) -> SysResult<TtyFlags> {
+        self.val(Syscall::Ioctl {
+            fd,
+            req: IoctlReq::Gtty,
+        })
+        .map(|v| TtyFlags::from_bits(v as u16))
+    }
+
+    /// Terminal mode set on a descriptor.
+    pub fn stty(&self, fd: usize, flags: TtyFlags) -> SysResult<()> {
+        self.val(Syscall::Ioctl {
+            fd,
+            req: IoctlReq::Stty(flags),
+        })
+        .map(|_| ())
+    }
+
+    /// Sets a signal disposition.
+    pub fn sigvec(&self, sig: Signal, disp: Disposition) -> SysResult<()> {
+        self.val(Syscall::Sigvec {
+            sig: sig.number(),
+            disp,
+        })
+        .map(|_| ())
+    }
+
+    /// Replaces the blocked-signal mask, returning the old one.
+    pub fn sigsetmask(&self, mask: u32) -> SysResult<u32> {
+        self.val(Syscall::Sigsetmask { mask })
+    }
+
+    /// Schedules a `SIGALRM` after `secs` seconds (0 cancels).
+    pub fn alarm(&self, secs: u32) -> SysResult<u32> {
+        self.val(Syscall::Alarm { secs })
+    }
+
+    /// Virtual micro-seconds since world boot.
+    pub fn gettimeofday(&self) -> SysResult<u64> {
+        // The value is split low/high across val/data to keep u64 range.
+        let resp = self.call(Syscall::Gettimeofday)?;
+        let lo = resp.val? as u64;
+        let hi = if resp.data.len() == 4 {
+            u32::from_be_bytes([resp.data[0], resp.data[1], resp.data[2], resp.data[3]]) as u64
+        } else {
+            0
+        };
+        Ok((hi << 32) | lo)
+    }
+
+    /// Sleeps for `micros` of simulated time.
+    pub fn sleep_us(&self, micros: u64) -> SysResult<()> {
+        self.val(Syscall::Sleep { micros }).map(|_| ())
+    }
+
+    /// Waits for any child; returns `(pid, status)`.
+    pub fn wait(&self) -> SysResult<(Pid, u32)> {
+        let resp = self.call(Syscall::Wait)?;
+        let pid = resp.val?;
+        let status = if resp.data.len() == 4 {
+            u32::from_be_bytes([resp.data[0], resp.data[1], resp.data[2], resp.data[3]])
+        } else {
+            0
+        };
+        Ok((Pid(pid), status))
+    }
+
+    /// `execve(2)`: overlays the caller with a fresh program. On
+    /// success the calling thread terminates like [`Sys::rest_proc`];
+    /// the returned value is the failure errno otherwise.
+    pub fn execve(&self, path: &str) -> Errno {
+        match self.val(Syscall::Execve { path: path.into() }) {
+            Ok(_) => Errno::EIO,
+            Err(e) => e,
+        }
+    }
+
+    /// **The paper's new system call.** Overlays the caller with the
+    /// dumped image named by the `a.outXXXXX` and `stackXXXXX` paths.
+    ///
+    /// On success this call does not return — the calling thread
+    /// terminates and the process continues as the restored program. The
+    /// returned value is therefore always the failure errno: "if the
+    /// system call does return, this means that either the system didn't
+    /// have enough resources ... or that something was wrong with the two
+    /// files".
+    pub fn rest_proc(
+        &self,
+        aout: &str,
+        stack: &str,
+        old_pid: Option<Pid>,
+        old_host: Option<&str>,
+    ) -> Errno {
+        match self.val(Syscall::RestProc {
+            aout: aout.into(),
+            stack: stack.into(),
+            old_pid: old_pid.map(|p| p.as_u32()),
+            old_host: old_host.map(str::to_string),
+        }) {
+            // A non-overlaid success reply never happens; treat it as IO
+            // weirdness rather than panicking inside a user program.
+            Ok(_) => Errno::EIO,
+            Err(e) => e,
+        }
+    }
+
+    fn remote_result(resp: Response) -> SysResult<(u32, Option<Pid>)> {
+        let status = resp.val?;
+        let pid = if resp.data.len() == 4 {
+            Some(Pid(u32::from_be_bytes([
+                resp.data[0],
+                resp.data[1],
+                resp.data[2],
+                resp.data[3],
+            ])))
+        } else {
+            None
+        };
+        Ok((status, pid))
+    }
+
+    /// Runs `prog` on `host` through `rsh`, blocking until it finishes;
+    /// returns its exit status. All of `rsh`'s connection-establishment
+    /// cost is charged to the caller's real time.
+    pub fn rsh(
+        &self,
+        host: &str,
+        comm: &str,
+        prog: impl FnOnce(&Sys) -> u32 + Send + 'static,
+    ) -> SysResult<u32> {
+        self.rsh_pid(host, comm, prog).map(|(status, _)| status)
+    }
+
+    /// Like [`Sys::rsh`], also returning the remote process's pid.
+    pub fn rsh_pid(
+        &self,
+        host: &str,
+        comm: &str,
+        prog: impl FnOnce(&Sys) -> u32 + Send + 'static,
+    ) -> SysResult<(u32, Option<Pid>)> {
+        Self::remote_result(self.roundtrip(Request::Rsh {
+            host: host.into(),
+            prog: Box::new(prog),
+            comm: comm.into(),
+        })?)
+    }
+
+    /// Runs `prog` as a child process on the local machine, blocking
+    /// until it finishes; returns its exit status.
+    pub fn run_local(
+        &self,
+        comm: &str,
+        prog: impl FnOnce(&Sys) -> u32 + Send + 'static,
+    ) -> SysResult<u32> {
+        self.run_local_pid(comm, prog).map(|(status, _)| status)
+    }
+
+    /// Like [`Sys::run_local`], also returning the child's pid.
+    pub fn run_local_pid(
+        &self,
+        comm: &str,
+        prog: impl FnOnce(&Sys) -> u32 + Send + 'static,
+    ) -> SysResult<(u32, Option<Pid>)> {
+        Self::remote_result(self.roundtrip(Request::RunLocal {
+            prog: Box::new(prog),
+            comm: comm.into(),
+        })?)
+    }
+
+    /// Runs `prog` on `host` through the migration daemon (the §6.4
+    /// improvement over `rsh`): one message to a well-known port instead
+    /// of a connection-per-command session.
+    pub fn daemon_spawn(
+        &self,
+        host: &str,
+        comm: &str,
+        prog: impl FnOnce(&Sys) -> u32 + Send + 'static,
+    ) -> SysResult<(u32, Option<Pid>)> {
+        Self::remote_result(self.roundtrip(Request::Daemon {
+            host: host.into(),
+            prog: Box::new(prog),
+            comm: comm.into(),
+        })?)
+    }
+
+    /// Charges `units` simple-instruction units of user CPU time,
+    /// modelling computation the program does between system calls.
+    pub fn compute(&self, units: u64) -> SysResult<()> {
+        self.roundtrip(Request::Compute { units }).map(|_| ())
+    }
+}
+
+/// Spawns the program thread and returns the kernel-side channel.
+pub fn spawn_native(prog: NativeProgram) -> NativeChan {
+    let (req_tx, req_rx) = unbounded::<Request>();
+    let (resp_tx, resp_rx) = unbounded::<Response>();
+    let sys = Sys { req_tx, resp_rx };
+    let join = std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| prog(&sys)));
+        match result {
+            Ok(status) => {
+                // Normal return: ask the kernel to exit us. Failure just
+                // means the kernel already forgot us.
+                let _ = sys.req_tx.send(Request::Syscall(Syscall::Exit { status }));
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<OverlayExit>().is_some() {
+                    // rest_proc/execve succeeded; the process lives on as
+                    // the restored image. Say nothing.
+                } else {
+                    // The program panicked: report it as status 255 so
+                    // tests see the failure rather than a hang.
+                    let _ = sys
+                        .req_tx
+                        .send(Request::Syscall(Syscall::Exit { status: 255 }));
+                }
+            }
+        }
+    });
+    NativeChan {
+        req_rx,
+        resp_tx,
+        join: Some(join),
+    }
+}
+
+// Dropping a `NativeChan` drops the channel endpoints, which unblocks
+// the program thread (its `Sys` calls start failing with `EINTR`); the
+// thread then detaches harmlessly when its `JoinHandle` is dropped.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a native program from a fake "kernel" loop, answering each
+    /// request with `answer`.
+    fn drive(
+        prog: impl FnOnce(&Sys) -> u32 + Send + 'static,
+        mut answer: impl FnMut(Request) -> Response,
+    ) -> Vec<String> {
+        let chan = spawn_native(Box::new(prog));
+        let mut seen = Vec::new();
+        while let Ok(req) = chan.req_rx.recv() {
+            let name = match &req {
+                Request::Syscall(sc) => sc.name().to_string(),
+                Request::Rsh { host, .. } => format!("rsh:{host}"),
+                Request::RunLocal { comm, .. } => format!("run:{comm}"),
+                Request::Compute { .. } => "compute".to_string(),
+                Request::Daemon { host, .. } => format!("daemon:{host}"),
+            };
+            let is_exit = matches!(&req, Request::Syscall(Syscall::Exit { .. }));
+            seen.push(name);
+            if is_exit {
+                break;
+            }
+            let resp = answer(req);
+            chan.resp_tx.send(resp).unwrap();
+        }
+        seen
+    }
+
+    #[test]
+    fn requests_arrive_in_program_order() {
+        let seen = drive(
+            |sys| {
+                let fd = sys.open("/etc/motd", 0).unwrap();
+                let _ = sys.read(fd, 10);
+                sys.close(fd).unwrap();
+                0
+            },
+            |_| Response::of(Ok(3)),
+        );
+        assert_eq!(seen, vec!["open", "read", "close", "exit"]);
+    }
+
+    #[test]
+    fn errno_propagates() {
+        let seen = drive(
+            |sys| match sys.open("/missing", 0) {
+                Err(Errno::ENOENT) => 42,
+                other => panic!("unexpected {other:?}"),
+            },
+            |_| Response::of(Err(Errno::ENOENT)),
+        );
+        assert_eq!(seen.last().unwrap(), "exit");
+    }
+
+    #[test]
+    fn overlay_terminates_thread_silently() {
+        let chan = spawn_native(Box::new(|sys| {
+            let e = sys.rest_proc("/usr/tmp/a.out00002", "/usr/tmp/stack00002", None, None);
+            panic!("rest_proc returned {e}");
+        }));
+        let req = chan.req_rx.recv().unwrap();
+        assert!(matches!(req, Request::Syscall(Syscall::RestProc { .. })));
+        chan.resp_tx
+            .send(Response {
+                val: Ok(0),
+                data: Vec::new(),
+                overlaid: true,
+            })
+            .unwrap();
+        // The thread must end without sending anything else.
+        assert!(chan.req_rx.recv().is_err());
+    }
+
+    #[test]
+    fn killed_process_unwinds_with_eintr() {
+        let chan = spawn_native(Box::new(|sys| {
+            match sys.open("/x", 0) {
+                Err(Errno::EINTR) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            7
+        }));
+        let _req = chan.req_rx.recv().unwrap();
+        // Kernel kills the process: drop the response sender.
+        drop(chan.resp_tx);
+        // The thread finishes; its final Exit lands or the channel is gone.
+        match chan.req_rx.recv() {
+            Ok(Request::Syscall(Syscall::Exit { status })) => assert_eq!(status, 7),
+            Ok(_) => panic!("unexpected request"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn panicking_program_reports_255() {
+        let seen = drive(|_sys| panic!("program bug"), |_| Response::of(Ok(0)));
+        assert_eq!(seen, vec!["exit"]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Signal delivery, including the paper's `SIGDUMP` action.
+//!
+//! `SIGQUIT` terminates with a `core` file; **`SIGDUMP`** — the kernel
+//! addition — terminates after writing the three migration files. "The
+//! code is similar to that of ... SIGQUIT, which causes a process to
+//! terminate (dumping a subset of the information we dump for our new
+//! signal) in a file named core."
+
+use aout::{encode_executable, CoreFile};
+use dumpfmt::{dump_file_names, FdRecord, FilesFile, StackFile};
+use simtime::cost::Cost;
+use sysdefs::limits::NOFILE;
+use sysdefs::{DefaultAction, Disposition, Errno, FileMode, Pid, Signal, SysResult, TtyFlags};
+use vfs::{path as vpath, Ino};
+
+use crate::machine::MachineId;
+use crate::proc::{Body, ProcState};
+use crate::sys::args::{SysRetval, SyscallResult};
+use crate::world::World;
+
+/// Delivers every deliverable pending signal to `pid`.
+///
+/// Returns `true` if the process is still alive and runnable afterwards.
+pub fn deliver_pending(w: &mut World, mid: MachineId, pid: Pid) -> bool {
+    loop {
+        let sig = match w.proc_mut(mid, pid) {
+            Some(p) => match p.take_signal() {
+                Some(s) => s,
+                None => return true,
+            },
+            None => return false,
+        };
+        w.machine_mut(mid).stats.signals += 1;
+        let c = w.config.cost.signal_delivery();
+        w.charge(mid, pid, c);
+
+        let disp = {
+            let p = w.proc_ref(mid, pid).expect("checked above");
+            if sig.uncatchable() {
+                Disposition::Default
+            } else {
+                p.user.sigs.dispositions[(sig.number() - 1) as usize]
+            }
+        };
+        match disp {
+            Disposition::Ignore => continue,
+            Disposition::Handler(addr) => {
+                // A signal caught while blocked in a system call aborts
+                // the call with EINTR first (4.2BSD semantics), so the
+                // handler's register state is not clobbered by a stale
+                // write-back when the call would otherwise be retried.
+                let was_blocked = w
+                    .proc_ref(mid, pid)
+                    .map(|p| p.pending_syscall.is_some())
+                    .unwrap_or(false);
+                if was_blocked {
+                    w.complete_pending(mid, pid, SysRetval::err(Errno::EINTR));
+                }
+                push_handler_frame(w, mid, pid, sig, addr);
+                continue;
+            }
+            Disposition::Default => match sig.default_action() {
+                DefaultAction::Ignore => continue,
+                DefaultAction::Continue => continue,
+                DefaultAction::Stop => {
+                    if let Some(p) = w.proc_mut(mid, pid) {
+                        p.state = ProcState::Stopped;
+                    }
+                    return false;
+                }
+                DefaultAction::Terminate => {
+                    w.do_exit(mid, pid, 128 + sig.number());
+                    return false;
+                }
+                DefaultAction::CoreDump => {
+                    let _ = write_core(w, mid, pid);
+                    w.do_exit(mid, pid, 128 + sig.number());
+                    return false;
+                }
+                DefaultAction::MigrationDump => {
+                    // The dump happens in the context of the dumped
+                    // process — dumpproc must wait for the context
+                    // switch, which is Figure 2's real-time story.
+                    let _ = write_migration_dump(w, mid, pid);
+                    w.machine_mut(mid).stats.dumps += 1;
+                    w.do_exit(mid, pid, 128 + sig.number());
+                    return false;
+                }
+            },
+        }
+    }
+}
+
+/// Pushes a signal frame onto a VM process's stack: saved pc, sr and
+/// blocked mask, then enters the handler. Native bodies record signals
+/// but have no handler text to run, so the signal is dropped.
+fn push_handler_frame(w: &mut World, mid: MachineId, pid: Pid, sig: Signal, addr: u32) {
+    let Some(p) = w.proc_mut(mid, pid) else {
+        return;
+    };
+    let sig_bit = 1u32 << (sig.number() - 1);
+    if let Body::Vm(vm) = &mut p.body {
+        let old_blocked = p.user.sigs.blocked;
+        let sp = vm.cpu.a[7].wrapping_sub(12);
+        let ok = vm.mem.write_u32(sp, vm.cpu.pc).is_ok()
+            && vm.mem.write_u32(sp + 4, vm.cpu.sr as u32).is_ok()
+            && vm.mem.write_u32(sp + 8, old_blocked).is_ok();
+        if !ok {
+            // Stack gone: treat like SIGSEGV default.
+            return;
+        }
+        vm.cpu.a[7] = sp;
+        vm.cpu.pc = addr;
+        // The signal is masked for the duration of the handler.
+        p.user.sigs.blocked |= sig_bit;
+    }
+}
+
+/// `sigreturn(2)`: unwind the frame pushed by the handler entry.
+pub fn sys_sigreturn(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    let r = (|| -> SysResult<SysRetval> {
+        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let Body::Vm(vm) = &mut p.body else {
+            return Err(Errno::EINVAL);
+        };
+        let sp = vm.cpu.a[7];
+        let pc = vm.mem.read_u32(sp).map_err(|_| Errno::EFAULT)?;
+        let sr = vm.mem.read_u32(sp + 4).map_err(|_| Errno::EFAULT)?;
+        let blocked = vm.mem.read_u32(sp + 8).map_err(|_| Errno::EFAULT)?;
+        vm.cpu.a[7] = sp + 12;
+        vm.cpu.pc = pc;
+        vm.cpu.sr = sr as u16;
+        p.user.sigs.blocked = blocked;
+        Ok(SysRetval::ok(0))
+    })();
+    match r {
+        // Successful sigreturn must not clobber the restored d0/carry,
+        // so the dispatcher treats it as Gone-like: no write-back.
+        Ok(_) => SyscallResult::Gone,
+        Err(e) => SyscallResult::Done(SysRetval::err(e)),
+    }
+}
+
+/// Creates (or truncates) a file at an absolute path on `mid`'s local
+/// filesystem as the kernel itself, returning the inode.
+fn kernel_create(
+    w: &mut World,
+    mid: MachineId,
+    dir_path: &str,
+    name: &str,
+    mode: FileMode,
+    owner: sysdefs::Credentials,
+) -> SysResult<Ino> {
+    let m = w.machine_mut(mid);
+    let comps = vpath::components(dir_path);
+    let dir = match m.fs.walk(m.fs.root(), &comps, None)? {
+        vfs::WalkOutcome::Done(ino) => ino,
+        _ => return Err(Errno::ENOENT),
+    };
+    match m.fs.lookup(dir, name) {
+        Ok(existing) => {
+            m.fs.truncate(existing)?;
+            Ok(existing)
+        }
+        Err(_) => {
+            let ino = m.fs.create_file(dir, name, mode, &owner)?;
+            Ok(ino)
+        }
+    }
+}
+
+/// Writes `bytes` as a fresh dump/core file, charging the synchronous
+/// create + streaming write + sync-close this kind of file costs.
+#[allow(clippy::too_many_arguments)]
+fn kernel_write_file(
+    w: &mut World,
+    mid: MachineId,
+    pid: Pid,
+    dir: &str,
+    name: &str,
+    bytes: &[u8],
+    mode: FileMode,
+    owner: sysdefs::Credentials,
+) -> SysResult<()> {
+    let ino = kernel_create(w, mid, dir, name, mode, owner)?;
+    w.fs_mut(mid).write(ino, 0, bytes)?;
+    let c = w
+        .config
+        .cost
+        .disk_create()
+        .plus(w.config.cost.disk_write(bytes.len()))
+        .plus(w.config.cost.disk_sync_close());
+    w.charge(mid, pid, c);
+    Ok(())
+}
+
+/// `SIGQUIT`'s core dump: registers, data and stack into `./core`
+/// (written to `/usr/tmp` like the dump files, to keep the simulated
+/// kernel path simple — the content is what matters for `undump`).
+pub fn write_core(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
+    let (core, owner) = {
+        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+        let Body::Vm(vm) = &p.body else {
+            return Err(Errno::EINVAL);
+        };
+        (
+            CoreFile {
+                regs: vm.cpu.to_regs(),
+                data: vm.mem.data().to_vec(),
+                stack: vm.mem.stack_from(vm.cpu.sp()).unwrap_or(&[]).to_vec(),
+            },
+            p.user.cred.clone(),
+        )
+    };
+    let name = format!("core{:05}", pid.as_u32());
+    kernel_write_file(
+        w,
+        mid,
+        pid,
+        sysdefs::limits::DUMP_DIR,
+        &name,
+        &core.encode(),
+        FileMode(0o600),
+        owner,
+    )
+}
+
+/// **The `SIGDUMP` action**: write `a.outXXXXX`, `filesXXXXX` and
+/// `stackXXXXX` into `/usr/tmp`.
+pub fn write_migration_dump(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
+    if !w.config.track_names {
+        return Err(Errno::EINVAL);
+    }
+    // If the process is blocked inside a system call, back the pc up to
+    // the trap instruction so the restarted image re-issues the call
+    // (old-Unix syscall restart semantics). The paper's test program is
+    // dumped exactly like this: "killed after its first prompt for
+    // input".
+    {
+        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        if let (Some(rpc), Body::Vm(vm)) = (p.restart_pc, &mut p.body) {
+            vm.cpu.pc = rpc;
+        }
+    }
+
+    let (aout_bytes, files_file, stack_file, owner) = {
+        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+        let Body::Vm(vm) = &p.body else {
+            return Err(Errno::EINVAL);
+        };
+        // a.outXXXXX: header + text + *current* data (bss folded in, so
+        // static variables keep their dumped values).
+        let aout_bytes = encode_executable(
+            vm.mem.text(),
+            vm.mem.data(),
+            0,
+            // Entry stays the original one so the file runs standalone
+            // ("can be executed as an ordinary program").
+            vm.entry,
+            vm.isa_required,
+        );
+        // filesXXXXX: host, cwd, the fixed-size fd table, tty flags.
+        let mut fds = vec![FdRecord::Unused; NOFILE];
+        for (i, slot) in p.user.fds.iter().enumerate() {
+            let Some(idx) = slot else { continue };
+            let Some(f) = w.machine(mid).files.get(*idx) else {
+                continue;
+            };
+            fds[i] = if f.kind.dumps_as_socket() {
+                FdRecord::Socket
+            } else {
+                match &f.path {
+                    Some(path) => FdRecord::File {
+                        path: path.clone(),
+                        flags: f.flags,
+                        offset: f.offset,
+                    },
+                    // No recorded name (shouldn't happen on a tracking
+                    // kernel): treat like an unusable slot.
+                    None => FdRecord::Unused,
+                }
+            };
+        }
+        let tty_flags = p
+            .user
+            .tty
+            .map(|t| w.terminal(t).with(|term| term.gtty()))
+            .unwrap_or_else(TtyFlags::cooked);
+        let files_file = FilesFile {
+            host: w.machine(mid).name.clone(),
+            cwd: p.user.cwd_path.clone().unwrap_or_else(|| "/".to_string()),
+            fds,
+            tty_flags,
+        };
+        // stackXXXXX: credentials, stack, registers, signal state.
+        let stack_file = StackFile {
+            cred: p.user.cred.clone(),
+            stack: vm.mem.stack_from(vm.cpu.sp()).unwrap_or(&[]).to_vec(),
+            regs: vm.cpu.to_regs(),
+            sigs: p.user.sigs.clone(),
+        };
+        (aout_bytes, files_file, stack_file, p.user.cred.clone())
+    };
+
+    // Gathering cost: the kernel walks the fd table copying names.
+    let gather_bytes: usize = files_file
+        .fds
+        .iter()
+        .map(|r| match r {
+            FdRecord::File { path, .. } => path.len() + 16,
+            _ => 4,
+        })
+        .sum();
+    let c = w
+        .config
+        .cost
+        .copy_bytes(gather_bytes)
+        .plus(Cost::cpu_us(500));
+    w.charge(mid, pid, c);
+
+    let names = dump_file_names(pid);
+    let dir = sysdefs::limits::DUMP_DIR;
+    let base = |p: &str| p.rsplit('/').next().unwrap_or(p).to_string();
+    // The a.out dump "can be executed as an ordinary program": 0700.
+    kernel_write_file(
+        w,
+        mid,
+        pid,
+        dir,
+        &base(&names.a_out),
+        &aout_bytes,
+        FileMode(0o700),
+        owner.clone(),
+    )?;
+    kernel_write_file(
+        w,
+        mid,
+        pid,
+        dir,
+        &base(&names.files),
+        &files_file.encode(),
+        FileMode(0o600),
+        owner.clone(),
+    )?;
+    kernel_write_file(
+        w,
+        mid,
+        pid,
+        dir,
+        &base(&names.stack),
+        &stack_file.encode(),
+        FileMode(0o600),
+        owner,
+    )?;
+    Ok(())
+}

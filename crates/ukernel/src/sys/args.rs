@@ -1,0 +1,375 @@
+//! Typed system-call arguments and results, shared by the VM trap
+//! decoder and the native-process API.
+
+use sysdefs::{Disposition, Errno};
+
+/// `lseek(2)` origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Whence {
+    /// From the beginning of the file.
+    Set,
+    /// From the current offset.
+    Cur,
+    /// From the end of the file.
+    End,
+}
+
+impl Whence {
+    /// Decodes the classic 0/1/2 encoding.
+    pub fn from_u32(v: u32) -> Result<Whence, Errno> {
+        Ok(match v {
+            0 => Whence::Set,
+            1 => Whence::Cur,
+            2 => Whence::End,
+            _ => return Err(Errno::EINVAL),
+        })
+    }
+}
+
+/// The terminal `ioctl`s the kernel understands (old `TIOCGETP` and
+/// `TIOCSETP`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoctlReq {
+    /// Read the terminal flags (result in the return value).
+    Gtty,
+    /// Set the terminal flags.
+    Stty(sysdefs::TtyFlags),
+}
+
+/// A decoded system call.
+///
+/// Buffer-returning calls carry an optional guest buffer address
+/// (`buf_addr`): present for VM callers (the kernel copies the result
+/// out), absent for native callers (the bytes travel in the response).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Syscall {
+    /// Terminate the caller.
+    Exit {
+        /// Exit status.
+        status: u32,
+    },
+    /// Duplicate the caller.
+    Fork,
+    /// Read from a descriptor.
+    Read {
+        /// Descriptor.
+        fd: usize,
+        /// Maximum bytes.
+        len: usize,
+        /// Guest buffer (VM callers).
+        buf_addr: Option<u32>,
+    },
+    /// Write to a descriptor.
+    Write {
+        /// Descriptor.
+        fd: usize,
+        /// The bytes to write.
+        bytes: Vec<u8>,
+    },
+    /// Open a file.
+    Open {
+        /// Path (absolute or cwd-relative).
+        path: String,
+        /// `OpenFlags` bits.
+        flags: u16,
+    },
+    /// Create a file and open it for writing.
+    Creat {
+        /// Path.
+        path: String,
+        /// Permission bits.
+        mode: u16,
+    },
+    /// Close a descriptor.
+    Close {
+        /// Descriptor.
+        fd: usize,
+    },
+    /// Wait for a child to exit; returns the pid, status via data.
+    Wait,
+    /// Hard link.
+    Link {
+        /// Existing file.
+        old: String,
+        /// New name.
+        new: String,
+    },
+    /// Remove a name.
+    Unlink {
+        /// Path.
+        path: String,
+    },
+    /// Change working directory.
+    Chdir {
+        /// Path.
+        path: String,
+    },
+    /// File status; returns the size.
+    Stat {
+        /// Path.
+        path: String,
+    },
+    /// Reposition a descriptor.
+    Lseek {
+        /// Descriptor.
+        fd: usize,
+        /// Signed offset.
+        offset: i64,
+        /// Origin.
+        whence: Whence,
+    },
+    /// The (possibly virtualised) process id.
+    Getpid,
+    /// The real user id.
+    Getuid,
+    /// Send a signal.
+    Kill {
+        /// Target pid.
+        pid: u32,
+        /// Signal number.
+        sig: u32,
+    },
+    /// Duplicate a descriptor.
+    Dup {
+        /// Descriptor.
+        fd: usize,
+    },
+    /// Create a pipe; returns read fd in the low half of the value and
+    /// write fd in the high half.
+    Pipe,
+    /// Terminal control.
+    Ioctl {
+        /// Descriptor (must be a terminal).
+        fd: usize,
+        /// The request.
+        req: IoctlReq,
+    },
+    /// Create a symbolic link.
+    Symlink {
+        /// Link contents.
+        target: String,
+        /// Link name.
+        link: String,
+    },
+    /// Read a symbolic link.
+    Readlink {
+        /// Path.
+        path: String,
+        /// Guest buffer (VM callers).
+        buf_addr: Option<u32>,
+        /// Guest buffer size.
+        buf_len: usize,
+    },
+    /// Overlay the caller with a new program.
+    Execve {
+        /// Path of the executable.
+        path: String,
+    },
+    /// The (possibly virtualised) hostname.
+    Gethostname {
+        /// Guest buffer (VM callers).
+        buf_addr: Option<u32>,
+        /// Guest buffer size.
+        buf_len: usize,
+    },
+    /// Create a connected socket pair (enough socket to demonstrate the
+    /// migration limitation); returns two fds like `Pipe`.
+    Socket,
+    /// Set a signal disposition; returns the old one encoded as
+    /// 0=default, 1=ignore, handler address otherwise.
+    Sigvec {
+        /// Signal number.
+        sig: u32,
+        /// New disposition.
+        disp: Disposition,
+    },
+    /// Replace the blocked-signal mask; returns the old mask.
+    Sigsetmask {
+        /// New mask (bit n-1 blocks signal n).
+        mask: u32,
+    },
+    /// Schedule a `SIGALRM` in `secs` seconds (0 cancels); returns the
+    /// seconds left on any previous alarm.
+    Alarm {
+        /// Delay in seconds.
+        secs: u32,
+    },
+    /// Virtual time since boot in micro-seconds.
+    Gettimeofday,
+    /// Set real and effective uid.
+    Setreuid {
+        /// New real uid (`u32::MAX` leaves it unchanged).
+        ruid: u32,
+        /// New effective uid (`u32::MAX` leaves it unchanged).
+        euid: u32,
+    },
+    /// Make a directory.
+    Mkdir {
+        /// Path.
+        path: String,
+        /// Permission bits.
+        mode: u16,
+    },
+    /// Return from a signal handler (VM callers).
+    Sigreturn,
+    /// Sleep for a duration.
+    Sleep {
+        /// Micro-seconds.
+        micros: u64,
+    },
+    /// **The paper's new call**: overlay the caller with a dumped
+    /// process image.
+    RestProc {
+        /// Path of the `a.outXXXXX` file.
+        aout: String,
+        /// Path of the `stackXXXXX` file.
+        stack: String,
+        /// §7 extension: pre-migration pid to virtualise.
+        old_pid: Option<u32>,
+        /// §7 extension: pre-migration hostname to virtualise.
+        old_host: Option<String>,
+    },
+    /// §7 extension: the true pid regardless of virtualization.
+    GetpidReal,
+    /// §7 extension: the true hostname regardless of virtualization.
+    GethostnameReal {
+        /// Guest buffer (VM callers).
+        buf_addr: Option<u32>,
+        /// Guest buffer size.
+        buf_len: usize,
+    },
+    /// The kernel's current-working-directory string (§5.1 made visible).
+    Getwd {
+        /// Guest buffer (VM callers).
+        buf_addr: Option<u32>,
+        /// Guest buffer size.
+        buf_len: usize,
+    },
+}
+
+impl Syscall {
+    /// A short name for traces and statistics.
+    pub fn name(&self) -> &'static str {
+        use Syscall::*;
+        match self {
+            Exit { .. } => "exit",
+            Fork => "fork",
+            Read { .. } => "read",
+            Write { .. } => "write",
+            Open { .. } => "open",
+            Creat { .. } => "creat",
+            Close { .. } => "close",
+            Wait => "wait",
+            Link { .. } => "link",
+            Unlink { .. } => "unlink",
+            Chdir { .. } => "chdir",
+            Stat { .. } => "stat",
+            Lseek { .. } => "lseek",
+            Getpid => "getpid",
+            Getuid => "getuid",
+            Kill { .. } => "kill",
+            Dup { .. } => "dup",
+            Pipe => "pipe",
+            Ioctl { .. } => "ioctl",
+            Symlink { .. } => "symlink",
+            Readlink { .. } => "readlink",
+            Execve { .. } => "execve",
+            Gethostname { .. } => "gethostname",
+            Socket => "socket",
+            Sigvec { .. } => "sigvec",
+            Sigsetmask { .. } => "sigsetmask",
+            Alarm { .. } => "alarm",
+            Gettimeofday => "gettimeofday",
+            Setreuid { .. } => "setreuid",
+            Mkdir { .. } => "mkdir",
+            Sigreturn => "sigreturn",
+            Sleep { .. } => "sleep",
+            RestProc { .. } => "rest_proc",
+            GetpidReal => "getpid_real",
+            GethostnameReal { .. } => "gethostname_real",
+            Getwd { .. } => "getwd",
+        }
+    }
+}
+
+/// The value side of a completed system call: a numeric result or an
+/// errno, plus any returned bytes (`read`, `readlink`, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SysRetval {
+    /// The numeric result or the error.
+    pub val: Result<u32, Errno>,
+    /// Returned bytes for buffer-filling calls.
+    pub data: Vec<u8>,
+}
+
+impl SysRetval {
+    /// A bare numeric success.
+    pub fn ok(v: u32) -> SysRetval {
+        SysRetval {
+            val: Ok(v),
+            data: Vec::new(),
+        }
+    }
+
+    /// A success carrying bytes.
+    pub fn with_data(v: u32, data: Vec<u8>) -> SysRetval {
+        SysRetval { val: Ok(v), data }
+    }
+
+    /// A failure.
+    pub fn err(e: Errno) -> SysRetval {
+        SysRetval {
+            val: Err(e),
+            data: Vec::new(),
+        }
+    }
+}
+
+/// What the dispatcher should do after attempting a system call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyscallResult {
+    /// The call completed; deliver the result.
+    Done(SysRetval),
+    /// The call cannot complete yet: the handler has set the process
+    /// state; re-attempt when the process is next scheduled.
+    Blocked,
+    /// The calling process is gone (`exit`) or was overlaid
+    /// (`execve`/`rest_proc` success): deliver nothing.
+    Gone,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whence_decoding() {
+        assert_eq!(Whence::from_u32(0).unwrap(), Whence::Set);
+        assert_eq!(Whence::from_u32(1).unwrap(), Whence::Cur);
+        assert_eq!(Whence::from_u32(2).unwrap(), Whence::End);
+        assert_eq!(Whence::from_u32(3), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn retval_constructors() {
+        assert_eq!(SysRetval::ok(5).val, Ok(5));
+        assert_eq!(SysRetval::err(Errno::EBADF).val, Err(Errno::EBADF));
+        let d = SysRetval::with_data(3, vec![1, 2, 3]);
+        assert_eq!(d.data.len(), 3);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            Syscall::RestProc {
+                aout: String::new(),
+                stack: String::new(),
+                old_pid: None,
+                old_host: None
+            }
+            .name(),
+            "rest_proc"
+        );
+        assert_eq!(Syscall::Fork.name(), "fork");
+    }
+}

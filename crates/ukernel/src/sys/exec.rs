@@ -1,0 +1,275 @@
+//! `execve(2)` and the paper's `rest_proc()` system call.
+//!
+//! §5.2: "the `execve()` system call has been slightly modified, to check
+//! a global flag which, if set, indicates that it is called from within
+//! `rest_proc()`. In that case, instead of calculating how much initial
+//! stack to allocate for the process, based on the command line arguments
+//! and the environment, it simply allocates as many bytes as are
+//! indicated in another global variable." Those globals are
+//! [`crate::machine::Machine::exec_mig_flag`] and
+//! [`crate::machine::Machine::exec_mig_stack`].
+
+use aout::parse_executable;
+use dumpfmt::StackFile;
+use m68vm::Cpu;
+use simnet::NfsOp;
+use sysdefs::{Access, Errno, Pid, SysResult};
+use vfs::InodeKind;
+
+use crate::machine::MachineId;
+use crate::namei::{namei, FollowLast};
+use crate::proc::{Body, ProcState, VmBody};
+use crate::sys::args::{SysRetval, SyscallResult};
+use crate::world::World;
+
+fn done(r: SysResult<SysRetval>) -> SyscallResult {
+    SyscallResult::Done(match r {
+        Ok(v) => v,
+        Err(e) => SysRetval::err(e),
+    })
+}
+
+/// Reads a whole file through the namespace, charging namei plus the
+/// image transfer (disk locally, NFS reads remotely).
+pub(crate) fn slurp(
+    w: &mut World,
+    mid: MachineId,
+    pid: Pid,
+    path: &str,
+    want_exec: bool,
+) -> SysResult<Vec<u8>> {
+    let cred = w.cred_of(mid, pid)?;
+    let cwd = w.cwd_of(mid, pid)?;
+    let res = namei(w, mid, &cred, cwd, path, FollowLast::Yes)?;
+    let cold = w
+        .machine_mut(mid)
+        .touch_path(&format!("slurp:{mid}:{path}"));
+    let c = w.config.cost.namei(res.components, cold);
+    w.charge(mid, pid, c);
+    let fref = res.fref;
+    let node = w.machine(fref.machine).fs.inode(fref.ino)?;
+    let data = match &node.kind {
+        InodeKind::Regular(bytes) => {
+            if want_exec && !node.mode.allows(&cred, node.uid, node.gid, Access::Exec) {
+                return Err(Errno::EACCES);
+            }
+            if !want_exec && !node.mode.allows(&cred, node.uid, node.gid, Access::Read) {
+                return Err(Errno::EACCES);
+            }
+            bytes.clone()
+        }
+        InodeKind::Directory(_) => return Err(Errno::EISDIR),
+        _ => return Err(Errno::EACCES),
+    };
+    if fref.machine == mid {
+        let c = w.config.cost.disk_read(data.len());
+        w.charge(mid, pid, c);
+    } else {
+        // NFS moves the image in 8 KB reads.
+        let mut left = data.len();
+        while left > 0 {
+            let chunk = left.min(8192);
+            w.charge_rpc(mid, pid, NfsOp::Read(chunk));
+            left -= chunk;
+        }
+    }
+    Ok(data)
+}
+
+/// The shared overlay: parse, check ISA, build the new body.
+fn overlay(w: &mut World, mid: MachineId, pid: Pid, image: &[u8], comm: &str) -> SysResult<()> {
+    let exe = parse_executable(image).map_err(|_| Errno::ENOEXEC)?;
+    let isa_required = exe.isa();
+    // §7: "Processes can be migrated to a similar CPU or to one whose
+    // instruction set is a superset of that of the original machine."
+    // The loader enforces the same rule for plain execution.
+    if !w.machine(mid).isa.supports(isa_required) {
+        return Err(Errno::ENOEXEC);
+    }
+    let mut mem = exe.to_memory();
+    let mut cpu = Cpu::at_entry(exe.header.a_entry);
+    // The §5.2 modified execve: exact initial stack when the migration
+    // flag is set, empty stack otherwise.
+    let (mig, stack) = {
+        let m = w.machine(mid);
+        (m.exec_mig_flag, m.exec_mig_stack.clone())
+    };
+    if mig {
+        let sp = mem.restore_stack(&stack).ok_or(Errno::ENOMEM)?;
+        cpu.a[7] = sp;
+    }
+    let c = w.config.cost.exec_base();
+    w.charge(mid, pid, c);
+    let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+    p.body = Body::Vm(VmBody {
+        cpu,
+        mem,
+        isa_required,
+        entry: exe.header.a_entry,
+    });
+    p.pending_syscall = None;
+    p.restart_pc = None;
+    p.state = ProcState::Runnable;
+    p.comm = comm.to_string();
+    let m = w.machine_mut(mid);
+    m.stats.execs += 1;
+    m.make_runnable(pid);
+    Ok(())
+}
+
+/// `execve(2)`.
+///
+/// On success the calling image is destroyed, so the dispatcher sees
+/// [`SyscallResult::Gone`]; a native caller's thread is unwound by the
+/// `overlaid` reply.
+pub fn sys_execve(w: &mut World, mid: MachineId, pid: Pid, path: &str) -> SyscallResult {
+    let (t0, c0) = call_entry(w, mid, pid);
+    let image = match slurp(w, mid, pid, path, true) {
+        Ok(i) => i,
+        Err(e) => return done(Err(e)),
+    };
+    let comm = path.rsplit('/').next().unwrap_or(path).to_string();
+    match overlay(w, mid, pid, &image, &comm) {
+        Ok(()) => {
+            w.machine_mut(mid).last_execve = Some(call_exit(w, mid, pid, t0, c0));
+            SyscallResult::Gone
+        }
+        Err(e) => done(Err(e)),
+    }
+}
+
+/// Snapshot of (machine clock, process CPU) at the start of a timed call.
+fn call_entry(w: &World, mid: MachineId, pid: Pid) -> (simtime::SimTime, simtime::SimDuration) {
+    let now = w.machine(mid).now;
+    let cpu = w
+        .proc_ref(mid, pid)
+        .map(|p| p.cpu_time())
+        .unwrap_or_default();
+    (now, cpu)
+}
+
+/// The paper's in-kernel timing code: elapsed real and CPU since entry.
+fn call_exit(
+    w: &World,
+    mid: MachineId,
+    pid: Pid,
+    t0: simtime::SimTime,
+    c0: simtime::SimDuration,
+) -> crate::machine::CallTiming {
+    let now = w.machine(mid).now;
+    let cpu = w
+        .proc_ref(mid, pid)
+        .map(|p| p.cpu_time())
+        .unwrap_or_default();
+    crate::machine::CallTiming {
+        cpu: cpu.saturating_sub(c0),
+        real: now.since(t0),
+    }
+}
+
+/// **`rest_proc(2)`**, the paper's addition, following §5.2 to the
+/// letter.
+pub fn sys_rest_proc(
+    w: &mut World,
+    mid: MachineId,
+    pid: Pid,
+    aout_path: &str,
+    stack_path: &str,
+    old_pid: Option<u32>,
+    old_host: Option<&str>,
+) -> SyscallResult {
+    let (t0, c0) = call_entry(w, mid, pid);
+    // What the calling application (restart) spent before reaching the
+    // kernel: its whole life so far.
+    if let Some(p) = w.proc_ref(mid, pid) {
+        let started = p.start_time;
+        let caller = crate::machine::CallTiming {
+            cpu: p.cpu_time(),
+            real: t0.since(started),
+        };
+        w.machine_mut(mid).last_rest_caller = Some(caller);
+    }
+    // 1. "It opens the stackXXXXX file, checking access permissions and
+    //    verifying its format by checking the magic number."
+    let stack_bytes = match slurp(w, mid, pid, stack_path, false) {
+        Ok(b) => b,
+        Err(e) => return done(Err(e)),
+    };
+    // 2. "Reads the user credentials and the size of the stack."
+    let stack_file = match StackFile::decode(&stack_bytes) {
+        Ok(s) => s,
+        Err(_) => return done(Err(Errno::ENOEXEC)),
+    };
+    // Only the owner of the dumped process (or the superuser) may
+    // restart it; the caller's current credentials gate the a.out read
+    // below ("The old credentials were used to execute the a.outXXXXX
+    // file, so that only the owner of the process or the superuser is
+    // able to do it").
+    let caller_cred = match w.cred_of(mid, pid) {
+        Ok(c) => c,
+        Err(e) => return done(Err(e)),
+    };
+    if !caller_cred.may_control(stack_file.cred.ruid) {
+        return done(Err(Errno::EPERM));
+    }
+    // 3. "Sets the global flag indicating process migration and sets the
+    //    variable that indicates the desired stack size."
+    {
+        let m = w.machine_mut(mid);
+        m.exec_mig_flag = true;
+        m.exec_mig_stack = stack_file.stack.clone();
+    }
+    // 4. "Calls execve() to execute the a.outXXXXX file, with the
+    //    environment set to null."
+    let result = (|| -> SysResult<()> {
+        let image = slurp(w, mid, pid, aout_path, true)?;
+        let comm = aout_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(aout_path)
+            .to_string();
+        overlay(w, mid, pid, &image, &comm)
+    })();
+    // 5. "Resets the variable indicating process migration, so that
+    //    further calls to execve() will work properly."
+    {
+        let m = w.machine_mut(mid);
+        m.exec_mig_flag = false;
+        m.exec_mig_stack.clear();
+    }
+    if let Err(e) = result {
+        return done(Err(e));
+    }
+    // 6. "Sets the user credentials to those already read."
+    // 7. "Reads in the contents of the stack and registers."
+    //    (The stack was already laid down by the modified execve; the
+    //    registers are restored here.)
+    // 8. "Reads in the information on the disposition of signals."
+    {
+        let virtualize = w.config.virtualize_ids;
+        let p = w.proc_mut(mid, pid).expect("just overlaid");
+        p.user.cred = stack_file.cred.clone();
+        if let Body::Vm(vm) = &mut p.body {
+            vm.cpu = Cpu::from_regs(&stack_file.regs);
+        }
+        p.user.sigs = stack_file.sigs.clone();
+        // §7 extension: remember the old identity when the kernel is
+        // built with virtualization.
+        if virtualize {
+            p.user.old_pid = old_pid.map(Pid);
+            p.user.old_host = old_host.map(str::to_string);
+        }
+    }
+    w.machine_mut(mid).stats.restores += 1;
+    let timing = call_exit(w, mid, pid, t0, c0);
+    w.machine_mut(mid).last_rest_proc = Some(timing);
+    let comm = aout_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(aout_path)
+        .to_string();
+    w.overlaid.insert((mid, pid.as_u32()), comm);
+    // 9. "Returns. At this point, the process running is a copy of the
+    //    old process."
+    SyscallResult::Gone
+}

@@ -1,0 +1,74 @@
+//! System-call dispatch and handlers.
+//!
+//! [`do_syscall`] is the kernel's trap table: it charges the trap cost,
+//! bumps the statistics, and routes to a handler. Handlers receive the
+//! whole [`crate::world::World`] because calls may cross machines (NFS)
+//! or machines' process tables (signals, `wait`).
+
+pub mod args;
+pub mod exec;
+pub mod fsops;
+pub mod procops;
+pub mod vmabi;
+
+use crate::machine::MachineId;
+use crate::world::World;
+use args::{Syscall, SyscallResult};
+use sysdefs::Pid;
+
+/// Executes one system call for `pid` on machine `mid`.
+///
+/// Returns [`SyscallResult::Blocked`] when the call cannot complete yet
+/// (the handler has parked the process); the scheduler re-issues the same
+/// call when the process wakes, the kernel's classic sleep/retry pattern.
+pub fn do_syscall(w: &mut World, mid: MachineId, pid: Pid, sc: &Syscall) -> SyscallResult {
+    let trap = w.config.cost.syscall_trap();
+    let m = w.machine_mut(mid);
+    m.stats.syscalls += 1;
+    m.charge_sys(Some(pid), trap);
+
+    use Syscall::*;
+    match sc {
+        Exit { status } => procops::sys_exit(w, mid, pid, *status),
+        Fork => procops::sys_fork(w, mid, pid),
+        Read { fd, len, .. } => fsops::sys_read(w, mid, pid, *fd, *len),
+        Write { fd, bytes } => fsops::sys_write(w, mid, pid, *fd, bytes),
+        Open { path, flags } => fsops::sys_open(w, mid, pid, path, *flags, 0o644, false),
+        Creat { path, mode } => fsops::sys_creat(w, mid, pid, path, *mode),
+        Close { fd } => fsops::sys_close(w, mid, pid, *fd),
+        Wait => procops::sys_wait(w, mid, pid),
+        Link { old, new } => fsops::sys_link(w, mid, pid, old, new),
+        Unlink { path } => fsops::sys_unlink(w, mid, pid, path),
+        Chdir { path } => fsops::sys_chdir(w, mid, pid, path),
+        Stat { path } => fsops::sys_stat(w, mid, pid, path),
+        Lseek { fd, offset, whence } => fsops::sys_lseek(w, mid, pid, *fd, *offset, *whence),
+        Getpid => procops::sys_getpid(w, mid, pid, false),
+        Getuid => procops::sys_getuid(w, mid, pid),
+        Kill { pid: target, sig } => procops::sys_kill(w, mid, pid, *target, *sig),
+        Dup { fd } => fsops::sys_dup(w, mid, pid, *fd),
+        Pipe => fsops::sys_pipe(w, mid, pid, false),
+        Socket => fsops::sys_pipe(w, mid, pid, true),
+        Ioctl { fd, req } => fsops::sys_ioctl(w, mid, pid, *fd, *req),
+        Symlink { target, link } => fsops::sys_symlink(w, mid, pid, target, link),
+        Readlink { path, buf_len, .. } => fsops::sys_readlink(w, mid, pid, path, *buf_len),
+        Execve { path } => exec::sys_execve(w, mid, pid, path),
+        Gethostname { buf_len, .. } => procops::sys_gethostname(w, mid, pid, *buf_len, false),
+        Sigvec { sig, disp } => procops::sys_sigvec(w, mid, pid, *sig, *disp),
+        Sigsetmask { mask } => procops::sys_sigsetmask(w, mid, pid, *mask),
+        Alarm { secs } => procops::sys_alarm(w, mid, pid, *secs),
+        Gettimeofday => procops::sys_gettimeofday(w, mid, pid),
+        Setreuid { ruid, euid } => procops::sys_setreuid(w, mid, pid, *ruid, *euid),
+        Mkdir { path, mode } => fsops::sys_mkdir(w, mid, pid, path, *mode),
+        Sigreturn => crate::signal::sys_sigreturn(w, mid, pid),
+        Sleep { micros } => procops::sys_sleep(w, mid, pid, *micros),
+        RestProc {
+            aout,
+            stack,
+            old_pid,
+            old_host,
+        } => exec::sys_rest_proc(w, mid, pid, aout, stack, *old_pid, old_host.as_deref()),
+        GetpidReal => procops::sys_getpid(w, mid, pid, true),
+        GethostnameReal { buf_len, .. } => procops::sys_gethostname(w, mid, pid, *buf_len, true),
+        Getwd { buf_len, .. } => procops::sys_getwd(w, mid, pid, *buf_len),
+    }
+}

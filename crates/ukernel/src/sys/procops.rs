@@ -1,0 +1,331 @@
+//! Process-related system calls: exit, fork, wait, signals, identity.
+
+use simtime::cost::Cost;
+use simtime::SimDuration;
+use sysdefs::{Disposition, Errno, Pid, Signal, SysResult};
+
+use crate::machine::MachineId;
+use crate::proc::{Body, Proc, ProcState};
+use crate::sys::args::{SysRetval, SyscallResult};
+use crate::world::World;
+
+fn done(r: SysResult<SysRetval>) -> SyscallResult {
+    SyscallResult::Done(match r {
+        Ok(v) => v,
+        Err(e) => SysRetval::err(e),
+    })
+}
+
+/// `exit(2)`.
+pub fn sys_exit(w: &mut World, mid: MachineId, pid: Pid, status: u32) -> SyscallResult {
+    w.do_exit(mid, pid, status);
+    SyscallResult::Gone
+}
+
+/// `fork(2)` — VM bodies only; native utilities use `run_local`/`rsh`.
+pub fn sys_fork(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    done((|| {
+        let child_pid = w.machine_mut(mid).alloc_pid();
+        let (child_body, image_bytes) = {
+            let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+            match &p.body {
+                Body::Vm(vm) => {
+                    let mut child = vm.clone();
+                    // The child sees fork() return 0; the VM dispatcher
+                    // will deliver `child_pid` to the parent.
+                    child.cpu.d[0] = 0;
+                    child.cpu.sr &= !0x01; // Clear carry: success.
+                    let bytes = child.mem.data().len()
+                        + child.mem.stack_from(child.cpu.sp()).map_or(0, |s| s.len());
+                    (Body::Vm(child), bytes)
+                }
+                _ => return Err(Errno::EINVAL),
+            }
+        };
+        let user = {
+            let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+            p.user.clone()
+        };
+        // Shared file-table entries: bump every referenced entry.
+        {
+            let m = w.machine_mut(mid);
+            for idx in user.fds.iter().flatten() {
+                m.files.incref(*idx);
+            }
+        }
+        let now = w.machine(mid).now;
+        let comm = w
+            .proc_ref(mid, pid)
+            .map(|p| p.comm.clone())
+            .unwrap_or_default();
+        let child = Proc {
+            pid: child_pid,
+            ppid: pid,
+            state: ProcState::Runnable,
+            body: child_body,
+            user,
+            sig_pending: 0,
+            utime: SimDuration::ZERO,
+            stime: SimDuration::ZERO,
+            start_time: now,
+            pending_syscall: None,
+            restart_pc: None,
+            comm,
+            alarm_at: None,
+        };
+        let m = w.machine_mut(mid);
+        m.procs.insert(child_pid.as_u32(), child);
+        m.stats.forks += 1;
+        m.make_runnable(child_pid);
+        let c = w.config.cost.fork(image_bytes);
+        w.charge(mid, pid, c);
+        Ok(SysRetval::ok(child_pid.as_u32()))
+    })())
+}
+
+/// `wait(2)`: reap a zombie child, or block until one appears.
+pub fn sys_wait(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    let mut zombie: Option<(Pid, u32)> = None;
+    let mut have_children = false;
+    {
+        let m = w.machine(mid);
+        for p in m.procs.values() {
+            if p.ppid == pid {
+                have_children = true;
+                if let ProcState::Zombie { status } = p.state {
+                    zombie = Some((p.pid, status));
+                    break;
+                }
+            }
+        }
+    }
+    match zombie {
+        Some((child, status)) => {
+            w.machine_mut(mid).procs.remove(&child.as_u32());
+            done(Ok(SysRetval::with_data(
+                child.as_u32(),
+                status.to_be_bytes().to_vec(),
+            )))
+        }
+        None if have_children => {
+            if let Some(p) = w.proc_mut(mid, pid) {
+                p.state = ProcState::ChildWait;
+            }
+            SyscallResult::Blocked
+        }
+        // "When such a process is moved to another machine, it ceases
+        // being the parent of what used to be its children, and waiting
+        // for them will produce undefined results" — concretely, ECHILD.
+        None => done(Err(Errno::ECHILD)),
+    }
+}
+
+/// `getpid(2)`; with `real`, the §7 `getpid_real()` extension.
+pub fn sys_getpid(w: &mut World, mid: MachineId, pid: Pid, real: bool) -> SyscallResult {
+    done((|| {
+        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+        let answer = if !real && w.config.virtualize_ids {
+            p.user.old_pid.unwrap_or(pid)
+        } else {
+            pid
+        };
+        Ok(SysRetval::ok(answer.as_u32()))
+    })())
+}
+
+/// `getuid(2)`.
+pub fn sys_getuid(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    done((|| {
+        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+        Ok(SysRetval::ok(p.user.cred.ruid.as_u32()))
+    })())
+}
+
+/// `gethostname(2)`; with `real`, the §7 `gethostname_real()` extension.
+pub fn sys_gethostname(
+    w: &mut World,
+    mid: MachineId,
+    pid: Pid,
+    buf_len: usize,
+    real: bool,
+) -> SyscallResult {
+    done({
+        let virtualised = if !real && w.config.virtualize_ids {
+            w.proc_ref(mid, pid).and_then(|p| p.user.old_host.clone())
+        } else {
+            None
+        };
+        let name = virtualised.unwrap_or_else(|| w.machine(mid).name.clone());
+        let bytes: Vec<u8> = name.into_bytes();
+        let n = bytes.len().min(buf_len);
+        Ok(SysRetval::with_data(n as u32, bytes[..n].to_vec()))
+    })
+}
+
+/// `getwd`: the kernel's §5.1 cwd string made visible.
+pub fn sys_getwd(w: &mut World, mid: MachineId, pid: Pid, buf_len: usize) -> SyscallResult {
+    done((|| {
+        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+        let cwd = p.user.cwd_path.clone().ok_or(Errno::EINVAL)?;
+        let bytes: Vec<u8> = cwd.into_bytes();
+        let n = bytes.len().min(buf_len);
+        Ok(SysRetval::with_data(n as u32, bytes[..n].to_vec()))
+    })())
+}
+
+/// `kill(2)`: post a signal, with the paper's ownership rule.
+pub fn sys_kill(w: &mut World, mid: MachineId, pid: Pid, target: u32, sig: u32) -> SyscallResult {
+    done((|| {
+        let sig = Signal::from_number(sig)?;
+        let cred = w.cred_of(mid, pid)?;
+        let target_pid = Pid(target);
+        let (owner, is_vm) = {
+            let t = w.proc_ref(mid, target_pid).ok_or(Errno::ESRCH)?;
+            if matches!(t.state, ProcState::Zombie { .. }) {
+                return Err(Errno::ESRCH);
+            }
+            (t.owner(), matches!(t.body, Body::Vm(_)))
+        };
+        // "For security reasons, only the superuser or the owner of the
+        // process can kill a process in this way."
+        if !cred.may_control(owner) {
+            return Err(Errno::EPERM);
+        }
+        // SIGDUMP needs a process image to dump; only VM bodies have
+        // one. (And on an unmodified kernel the signal does not exist.)
+        if sig == Signal::SIGDUMP {
+            if !w.config.track_names {
+                return Err(Errno::EINVAL);
+            }
+            if !is_vm {
+                return Err(Errno::EINVAL);
+            }
+        }
+        let c = w.config.cost.signal_delivery();
+        w.charge(mid, pid, c);
+        if let Some(t) = w.proc_mut(mid, target_pid) {
+            if sig == Signal::SIGCONT && matches!(t.state, ProcState::Stopped) {
+                t.state = ProcState::Runnable;
+            }
+            t.post_signal(sig);
+        }
+        // A runnable target will take the signal when next scheduled;
+        // blocked targets are woken by the scheduler's signal scan.
+        w.machine_mut(mid).nudge(target_pid);
+        Ok(SysRetval::ok(0))
+    })())
+}
+
+/// `sigvec(2)` (simplified): set one signal's disposition.
+pub fn sys_sigvec(
+    w: &mut World,
+    mid: MachineId,
+    pid: Pid,
+    sig: u32,
+    disp: Disposition,
+) -> SyscallResult {
+    done((|| {
+        let sig = Signal::from_number(sig)?;
+        if sig.uncatchable() && disp != Disposition::Default {
+            return Err(Errno::EINVAL);
+        }
+        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let slot = &mut p.user.sigs.dispositions[(sig.number() - 1) as usize];
+        let old = std::mem::replace(slot, disp);
+        let encoded = match old {
+            Disposition::Default => 0,
+            Disposition::Ignore => 1,
+            Disposition::Handler(a) => a,
+        };
+        Ok(SysRetval::ok(encoded))
+    })())
+}
+
+/// `sigsetmask(2)`: replace the blocked mask, returning the old one.
+/// `SIGKILL` and `SIGSTOP` cannot be blocked.
+pub fn sys_sigsetmask(w: &mut World, mid: MachineId, pid: Pid, mask: u32) -> SyscallResult {
+    done((|| {
+        let unblockable =
+            (1u32 << (Signal::SIGKILL.number() - 1)) | (1 << (Signal::SIGSTOP.number() - 1));
+        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let old = p.user.sigs.blocked;
+        p.user.sigs.blocked = mask & !unblockable;
+        Ok(SysRetval::ok(old))
+    })())
+}
+
+/// `alarm(2)`: schedule a `SIGALRM`, returning the seconds that
+/// remained on any previous alarm (0 if none).
+pub fn sys_alarm(w: &mut World, mid: MachineId, pid: Pid, secs: u32) -> SyscallResult {
+    done((|| {
+        let now = w.machine(mid).now;
+        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let remaining = p
+            .alarm_at
+            .map(|t| (t.since(now).as_micros() / 1_000_000) as u32)
+            .unwrap_or(0);
+        p.alarm_at = if secs == 0 {
+            None
+        } else {
+            Some(now + SimDuration::secs(secs as u64))
+        };
+        Ok(SysRetval::ok(remaining))
+    })())
+}
+
+/// `gettimeofday(2)`: virtual micro-seconds since boot, low half in the
+/// value, high half in the data bytes.
+pub fn sys_gettimeofday(w: &mut World, mid: MachineId, _pid: Pid) -> SyscallResult {
+    let us = w.machine(mid).now.as_micros();
+    done(Ok(SysRetval::with_data(
+        us as u32,
+        ((us >> 32) as u32).to_be_bytes().to_vec(),
+    )))
+}
+
+/// `setreuid(2)`: `u32::MAX` keeps the current value.
+pub fn sys_setreuid(
+    w: &mut World,
+    mid: MachineId,
+    pid: Pid,
+    ruid: u32,
+    euid: u32,
+) -> SyscallResult {
+    done((|| {
+        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let cur = p.user.cred.clone();
+        let want_r = if ruid == u32::MAX {
+            cur.ruid
+        } else {
+            sysdefs::Uid(ruid)
+        };
+        let want_e = if euid == u32::MAX {
+            cur.euid
+        } else {
+            sysdefs::Uid(euid)
+        };
+        let allowed = cur.euid.is_root()
+            || ((want_r == cur.ruid || want_r == cur.euid)
+                && (want_e == cur.ruid || want_e == cur.euid));
+        if !allowed {
+            return Err(Errno::EPERM);
+        }
+        p.user.cred.ruid = want_r;
+        p.user.cred.euid = want_e;
+        Ok(SysRetval::ok(0))
+    })())
+}
+
+/// `sleep`: park until a deadline.
+pub fn sys_sleep(w: &mut World, mid: MachineId, pid: Pid, micros: u64) -> SyscallResult {
+    if micros == 0 {
+        return done(Ok(SysRetval::ok(0)));
+    }
+    let until = w.machine(mid).now + SimDuration::micros(micros);
+    if let Some(p) = w.proc_mut(mid, pid) {
+        p.state = ProcState::Sleeping { until };
+    }
+    let c = Cost::cpu_us(100); // Timer setup.
+    w.charge(mid, pid, c);
+    SyscallResult::Blocked
+}

@@ -1,0 +1,1230 @@
+//! The world: machines, terminals, the Ethernet, and the scheduler.
+
+use m68vm::{IsaLevel, StepEvent};
+use simnet::{Ethernet, NfsOp, RshPhase};
+use simtime::cost::Cost;
+use simtime::{SimDuration, SimTime};
+use sysdefs::{Credentials, Errno, Pid, Signal, SysResult};
+use tty::{Terminal, TtyHandle};
+use vfs::{path as vpath, DeviceId, Filesystem, WalkOutcome};
+
+use crate::config::KernelConfig;
+use crate::file::{FileKind, FileStruct};
+use crate::machine::{Machine, MachineId};
+use crate::native::{spawn_native, NativeProgram, Request, Response};
+use crate::proc::{Body, ExitInfo, Proc, ProcState};
+use crate::signal::deliver_pending;
+use crate::sys::args::{SysRetval, Syscall, SyscallResult};
+use crate::sys::{do_syscall, vmabi};
+use crate::user::{FileRef, UserArea};
+
+/// Why a run loop stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every machine is idle: no runnable, wakeable or sleeping process.
+    Idle,
+    /// The slice budget ran out first.
+    BudgetExhausted,
+}
+
+/// The whole simulated installation.
+pub struct World {
+    /// Kernel build configuration (all machines run the same build, as
+    /// in the paper's installation).
+    pub config: KernelConfig,
+    machines: Vec<Machine>,
+    /// The shared 10 Mbit segment.
+    pub ether: Ethernet,
+    terminals: Vec<TtyHandle>,
+    /// Exit records, kept forever for measurement:
+    /// `(machine, pid) -> info`.
+    pub finished: std::collections::BTreeMap<(MachineId, u32), ExitInfo>,
+    /// Processes successfully overlaid by `rest_proc()`, mapped to the
+    /// image name they became. An `rsh` or `run_local` waiter treats an
+    /// overlaid command as complete (status 0): the restored program
+    /// keeps running, but the session detaches — the practical reading
+    /// of `restart`'s "there is no return from this system call".
+    pub overlaid: std::collections::BTreeMap<(MachineId, u32), String>,
+    /// Waiters whose remote command was started through the migration
+    /// daemon rather than `rsh` (no teardown cost on completion).
+    daemon_waiters: std::collections::BTreeSet<(MachineId, u32)>,
+}
+
+impl World {
+    /// An empty world.
+    pub fn new(config: KernelConfig) -> World {
+        World {
+            config,
+            machines: Vec::new(),
+            ether: Ethernet::new(),
+            terminals: Vec::new(),
+            finished: std::collections::BTreeMap::new(),
+            overlaid: std::collections::BTreeMap::new(),
+            daemon_waiters: std::collections::BTreeSet::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Topology.
+    // ------------------------------------------------------------------
+
+    /// Boots a machine and NFS-cross-mounts it with every existing one
+    /// (the paper's convention "of mounting the root directory of a
+    /// machine to the /n subdirectory of the root directory of all other
+    /// machines").
+    pub fn add_machine(&mut self, name: &str, isa: IsaLevel) -> MachineId {
+        let id = self.machines.len();
+        let mut m = Machine::boot(id, name, isa);
+        for other in &mut self.machines {
+            other.mounts.insert(name.to_string(), id);
+            m.mounts.insert(other.name.clone(), other.id);
+        }
+        // A machine also reaches itself as /n/<self>, so names rewritten
+        // by dumpproc keep working when the restart happens locally.
+        m.mounts.insert(name.to_string(), id);
+        // init: pid 1, never scheduled, the reparenting target. Its cwd
+        // string is initialised by the boot-time absolute chdir("/").
+        let mut user = UserArea::new(
+            Credentials::root(),
+            FileRef {
+                machine: id,
+                ino: m.fs.root(),
+            },
+        );
+        if self.config.track_names {
+            user.cwd_path = Some("/".to_string());
+        }
+        let init = Proc {
+            pid: Pid::INIT,
+            ppid: Pid::INIT,
+            state: ProcState::Stopped,
+            body: Body::Idle,
+            user,
+            sig_pending: 0,
+            utime: SimDuration::ZERO,
+            stime: SimDuration::ZERO,
+            start_time: SimTime::BOOT,
+            pending_syscall: None,
+            restart_pc: None,
+            comm: "init".into(),
+            alarm_at: None,
+        };
+        m.procs.insert(Pid::INIT.as_u32(), init);
+        self.machines.push(m);
+        id
+    }
+
+    /// Finds a machine by host name.
+    pub fn find_machine(&self, name: &str) -> Option<MachineId> {
+        self.machines.iter().position(|m| m.name == name)
+    }
+
+    /// Borrows a machine.
+    pub fn machine(&self, mid: MachineId) -> &Machine {
+        &self.machines[mid]
+    }
+
+    /// Mutably borrows a machine.
+    pub fn machine_mut(&mut self, mid: MachineId) -> &mut Machine {
+        &mut self.machines[mid]
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Mutably borrows a machine's filesystem (possibly a *remote* one
+    /// from the caller's point of view — the RPC cost is charged
+    /// separately).
+    pub fn fs_mut(&mut self, mid: MachineId) -> &mut Filesystem {
+        &mut self.machines[mid].fs
+    }
+
+    /// Creates a terminal attached to `mid` (a `/dev/ttyN` node appears
+    /// there) and returns its world id and host-side handle.
+    pub fn add_terminal(&mut self, mid: MachineId) -> (u32, TtyHandle) {
+        let id = self.terminals.len() as u32;
+        let handle = TtyHandle::new(Terminal::new());
+        self.terminals.push(handle.clone());
+        let m = &mut self.machines[mid];
+        let name = format!("tty{id}");
+        m.fs.mknod(m.dev_dir, &name, DeviceId::Tty(id), &Credentials::root())
+            .expect("mknod tty");
+        (id, handle)
+    }
+
+    /// Creates a degraded rsh-pipe endpoint (no device node; reachable
+    /// only as a controlling terminal).
+    pub fn add_remote_pipe(&mut self) -> (u32, TtyHandle) {
+        let id = self.terminals.len() as u32;
+        let handle = TtyHandle::new(Terminal::remote_pipe());
+        self.terminals.push(handle.clone());
+        (id, handle)
+    }
+
+    /// A terminal handle by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id — terminal ids are world-assigned and
+    /// never reclaimed.
+    pub fn terminal(&self, id: u32) -> TtyHandle {
+        self.terminals[id as usize].clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Small accessors used by the syscall handlers.
+    // ------------------------------------------------------------------
+
+    /// Borrows a process.
+    pub fn proc_ref(&self, mid: MachineId, pid: Pid) -> Option<&Proc> {
+        self.machines[mid].proc_ref(pid)
+    }
+
+    /// Mutably borrows a process.
+    pub fn proc_mut(&mut self, mid: MachineId, pid: Pid) -> Option<&mut Proc> {
+        self.machines[mid].proc_mut(pid)
+    }
+
+    /// The credentials of a process.
+    pub fn cred_of(&self, mid: MachineId, pid: Pid) -> SysResult<Credentials> {
+        self.proc_ref(mid, pid)
+            .map(|p| p.user.cred.clone())
+            .ok_or(Errno::ESRCH)
+    }
+
+    /// The working directory of a process.
+    pub fn cwd_of(&self, mid: MachineId, pid: Pid) -> SysResult<FileRef> {
+        self.proc_ref(mid, pid)
+            .map(|p| p.user.cwd)
+            .ok_or(Errno::ESRCH)
+    }
+
+    /// Best-effort absolute form of a path argument (used for the name
+    /// bookkeeping and the buffer-cache key).
+    pub fn abs_guess(&self, mid: MachineId, pid: Pid, arg: &str) -> Option<String> {
+        if vpath::is_absolute(arg) {
+            return Some(vpath::normalize(arg));
+        }
+        self.proc_ref(mid, pid)
+            .and_then(|p| p.user.cwd_path.as_deref())
+            .map(|cwd| vpath::combine(cwd, arg))
+    }
+
+    /// Resolves a descriptor to its file-table index.
+    pub fn file_idx(&self, mid: MachineId, pid: Pid, fd: usize) -> SysResult<usize> {
+        self.proc_ref(mid, pid)
+            .ok_or(Errno::ESRCH)?
+            .user
+            .fds
+            .get(fd)
+            .copied()
+            .flatten()
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Charges a cost to a machine and process.
+    pub fn charge(&mut self, mid: MachineId, pid: Pid, cost: Cost) {
+        self.machines[mid].charge_sys(Some(pid), cost);
+    }
+
+    /// Charges one NFS RPC to the client.
+    pub fn charge_rpc(&mut self, mid: MachineId, pid: Pid, op: NfsOp) {
+        let cost = op.cost(&self.config.cost, &mut self.ether);
+        let m = &mut self.machines[mid];
+        m.stats.nfs_rpcs += 1;
+        m.charge_sys(Some(pid), cost);
+    }
+
+    // ------------------------------------------------------------------
+    // Host-level filesystem helpers (no simulated cost): test fixtures,
+    // program installation, result inspection.
+    // ------------------------------------------------------------------
+
+    /// Creates every missing directory along `path` (absolute) on `mid`.
+    pub fn host_mkdir_p(&mut self, mid: MachineId, path: &str) -> SysResult<()> {
+        let cred = Credentials::root();
+        let m = &mut self.machines[mid];
+        let mut dir = m.fs.root();
+        for comp in vpath::components(path) {
+            dir = match m.fs.lookup(dir, &comp) {
+                Ok(ino) => ino,
+                Err(_) => m.fs.mkdir(dir, &comp, sysdefs::FileMode(0o777), &cred)?,
+            };
+        }
+        Ok(())
+    }
+
+    /// Writes a file at an absolute local path on `mid`, creating parent
+    /// directories as needed.
+    pub fn host_write_file(&mut self, mid: MachineId, path: &str, bytes: &[u8]) -> SysResult<()> {
+        let dir_path = vpath::dirname(path);
+        self.host_mkdir_p(mid, &dir_path)?;
+        let cred = Credentials::root();
+        let m = &mut self.machines[mid];
+        let comps = vpath::components(&dir_path);
+        let dir = match m.fs.walk(m.fs.root(), &comps, None)? {
+            WalkOutcome::Done(ino) => ino,
+            _ => return Err(Errno::ENOENT),
+        };
+        let name = vpath::basename(path);
+        let ino = match m.fs.lookup(dir, name) {
+            Ok(ino) => {
+                m.fs.truncate(ino)?;
+                ino
+            }
+            Err(_) => {
+                m.fs.create_file(dir, name, sysdefs::FileMode(0o755), &cred)?
+            }
+        };
+        m.fs.write(ino, 0, bytes)?;
+        Ok(())
+    }
+
+    /// Reads a file at an absolute local path on `mid` (no symlink
+    /// following).
+    pub fn host_read_file(&self, mid: MachineId, path: &str) -> SysResult<Vec<u8>> {
+        let m = &self.machines[mid];
+        let comps = vpath::components(path);
+        match m.fs.walk(m.fs.root(), &comps, None)? {
+            WalkOutcome::Done(ino) => {
+                let len = m.fs.file_len(ino)?;
+                m.fs.read(ino, 0, len as usize)
+            }
+            _ => Err(Errno::ENOENT),
+        }
+    }
+
+    /// Installs an assembled program as an executable a.out file.
+    pub fn install_program(
+        &mut self,
+        mid: MachineId,
+        path: &str,
+        obj: &m68vm::Object,
+    ) -> SysResult<()> {
+        self.host_write_file(mid, path, &aout::encode_object(obj))
+    }
+
+    // ------------------------------------------------------------------
+    // Spawning.
+    // ------------------------------------------------------------------
+
+    fn fresh_user(&self, mid: MachineId, cred: Credentials, tty: Option<u32>) -> UserArea {
+        let mut user = UserArea::new(
+            cred,
+            FileRef {
+                machine: mid,
+                ino: self.machines[mid].fs.root(),
+            },
+        );
+        if self.config.track_names {
+            // Inherited from init, whose boot-time chdir("/") initialised
+            // the field.
+            user.cwd_path = Some("/".to_string());
+        }
+        user.tty = tty;
+        user
+    }
+
+    fn attach_stdio(&mut self, mid: MachineId, user: &mut UserArea, tty: Option<u32>) {
+        let Some(tty) = tty else { return };
+        let m = &mut self.machines[mid];
+        let mut f = FileStruct::new(
+            FileKind::Device(DeviceId::Tty(tty)),
+            sysdefs::OpenFlags::RDWR,
+        );
+        if self.config.track_names {
+            f.path = Some(format!("/dev/tty{tty}"));
+        }
+        let idx = m.files.insert(f);
+        m.files.incref(idx);
+        m.files.incref(idx);
+        user.fds[0] = Some(idx);
+        user.fds[1] = Some(idx);
+        user.fds[2] = Some(idx);
+    }
+
+    fn insert_proc(
+        &mut self,
+        mid: MachineId,
+        body: Body,
+        user: UserArea,
+        ppid: Pid,
+        comm: &str,
+    ) -> Pid {
+        let pid = self.machines[mid].alloc_pid();
+        let now = self.machines[mid].now;
+        let proc = Proc {
+            pid,
+            ppid,
+            state: ProcState::Runnable,
+            body,
+            user,
+            sig_pending: 0,
+            utime: SimDuration::ZERO,
+            stime: SimDuration::ZERO,
+            start_time: now,
+            pending_syscall: None,
+            restart_pc: None,
+            comm: comm.to_string(),
+            alarm_at: None,
+        };
+        self.machines[mid].procs.insert(pid.as_u32(), proc);
+        self.machines[mid].make_runnable(pid);
+        pid
+    }
+
+    /// Spawns a native (Rust) program as a process on `mid`.
+    pub fn spawn_native_proc(
+        &mut self,
+        mid: MachineId,
+        comm: &str,
+        tty: Option<u32>,
+        cred: Credentials,
+        prog: NativeProgram,
+    ) -> Pid {
+        let mut user = self.fresh_user(mid, cred, tty);
+        self.attach_stdio(mid, &mut user, tty);
+        let chan = spawn_native(prog);
+        self.insert_proc(mid, Body::Native(chan), user, Pid::INIT, comm)
+    }
+
+    /// Spawns a VM program from an executable file on `mid`'s namespace.
+    pub fn spawn_vm_proc(
+        &mut self,
+        mid: MachineId,
+        exe_path: &str,
+        tty: Option<u32>,
+        cred: Credentials,
+    ) -> SysResult<Pid> {
+        let mut user = self.fresh_user(mid, cred, tty);
+        self.attach_stdio(mid, &mut user, tty);
+        let comm = exe_path.rsplit('/').next().unwrap_or(exe_path).to_string();
+        let pid = self.insert_proc(mid, Body::Idle, user, Pid::INIT, &comm);
+        match crate::sys::exec::sys_execve(self, mid, pid, exe_path) {
+            SyscallResult::Gone => Ok(pid),
+            SyscallResult::Done(ret) => {
+                let e = ret.val.err().unwrap_or(Errno::ENOEXEC);
+                self.do_exit(mid, pid, 127);
+                Err(e)
+            }
+            SyscallResult::Blocked => unreachable!("execve never blocks"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exit.
+    // ------------------------------------------------------------------
+
+    /// Terminates a process: closes descriptors, records accounting,
+    /// reparents children, wakes the parent.
+    pub fn do_exit(&mut self, mid: MachineId, pid: Pid, status: u32) {
+        // Close every descriptor (charging the owning process).
+        let fds: Vec<usize> = match self.proc_ref(mid, pid) {
+            Some(p) => p
+                .user
+                .fds
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.map(|_| i))
+                .collect(),
+            None => return,
+        };
+        for fd in fds {
+            let _ = crate::sys::fsops::close_common(self, mid, pid, fd);
+        }
+        let c = self.config.cost.proc_teardown();
+        self.charge(mid, pid, c);
+
+        let (ppid, info) = {
+            let m = &mut self.machines[mid];
+            let now = m.now;
+            let p = m.proc_mut(pid).expect("exiting process exists");
+            p.state = ProcState::Zombie { status };
+            // Dropping the body releases VM memory or unblocks the
+            // native thread.
+            p.body = Body::Idle;
+            p.pending_syscall = None;
+            (
+                p.ppid,
+                ExitInfo {
+                    status,
+                    utime: p.utime,
+                    stime: p.stime,
+                    started: p.start_time,
+                    ended: now,
+                },
+            )
+        };
+        self.finished.insert((mid, pid.as_u32()), info);
+        {
+            let m = &mut self.machines[mid];
+            m.run_queue.retain(|&q| q != pid);
+            if m.last_run == Some(pid) {
+                m.last_run = None;
+            }
+            // Reparent children to init.
+            let child_pids: Vec<u32> = m
+                .procs
+                .values()
+                .filter(|p| p.ppid == pid && p.pid != pid)
+                .map(|p| p.pid.as_u32())
+                .collect();
+            for cp in child_pids {
+                if let Some(c) = m.procs.get_mut(&cp) {
+                    c.ppid = Pid::INIT;
+                    // Zombie orphans are reaped by init immediately.
+                    if matches!(c.state, ProcState::Zombie { .. }) {
+                        m.procs.remove(&cp);
+                    }
+                }
+            }
+        }
+        // Wake a waiting parent and post SIGCHLD.
+        if ppid != Pid::INIT {
+            let wake = {
+                let m = &self.machines[mid];
+                m.proc_ref(ppid)
+                    .map(|p| matches!(p.state, ProcState::ChildWait))
+                    .unwrap_or(false)
+            };
+            if let Some(parent) = self.proc_mut(mid, ppid) {
+                parent.post_signal(Signal::SIGCHLD);
+            }
+            if wake {
+                self.machines[mid].make_runnable(ppid);
+            }
+        } else {
+            // Children of init: reap immediately.
+            self.machines[mid].procs.remove(&pid.as_u32());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling.
+    // ------------------------------------------------------------------
+
+    /// Checks blocked processes and wakes those whose condition holds.
+    fn wake_scan(&mut self, mid: MachineId) {
+        // Fire due alarms first: they may turn blocked processes
+        // signal-wakeable.
+        {
+            let m = &mut self.machines[mid];
+            let now = m.now;
+            let due: Vec<Pid> = m
+                .procs
+                .values()
+                .filter(|p| p.alarm_at.map(|t| now >= t).unwrap_or(false))
+                .map(|p| p.pid)
+                .collect();
+            for pid in due {
+                if let Some(p) = m.proc_mut(pid) {
+                    p.alarm_at = None;
+                    p.post_signal(Signal::SIGALRM);
+                }
+                m.nudge(pid);
+            }
+        }
+        let pids: Vec<Pid> = self.machines[mid]
+            .procs
+            .values()
+            .filter(|p| p.state.is_blocked())
+            .map(|p| p.pid)
+            .collect();
+        for pid in pids {
+            enum Action {
+                Nothing,
+                Wake,
+                CompleteSleep,
+                CompleteRemote(u32, MachineId, Pid),
+            }
+            let action = {
+                let p = match self.proc_ref(mid, pid) {
+                    Some(p) => p,
+                    None => continue,
+                };
+                let signal_wake = p.signal_pending()
+                    && !matches!(p.state, ProcState::Stopped)
+                    && self.signal_would_act(mid, pid);
+                match &p.state {
+                    ProcState::Sleeping { until } => {
+                        if self.machines[mid].now >= *until {
+                            Action::CompleteSleep
+                        } else if signal_wake {
+                            Action::Wake
+                        } else {
+                            Action::Nothing
+                        }
+                    }
+                    ProcState::TtyWait { tty } => {
+                        if self.terminals[*tty as usize].with(|t| t.read_ready()) || signal_wake {
+                            Action::Wake
+                        } else {
+                            Action::Nothing
+                        }
+                    }
+                    ProcState::PipeWait => {
+                        if signal_wake || self.pipe_ready(mid, pid) {
+                            Action::Wake
+                        } else {
+                            Action::Nothing
+                        }
+                    }
+                    ProcState::ChildWait => {
+                        let m = &self.machines[mid];
+                        let has_zombie = m
+                            .procs
+                            .values()
+                            .any(|c| c.ppid == pid && matches!(c.state, ProcState::Zombie { .. }));
+                        let has_children = m.procs.values().any(|c| c.ppid == pid);
+                        if has_zombie || !has_children || signal_wake {
+                            Action::Wake
+                        } else {
+                            Action::Nothing
+                        }
+                    }
+                    ProcState::RemoteWait { server, pid: rp } => {
+                        match self.finished.get(&(*server, rp.as_u32())) {
+                            Some(info) => Action::CompleteRemote(info.status, *server, *rp),
+                            None if self.overlaid.contains_key(&(*server, rp.as_u32())) => {
+                                Action::CompleteRemote(0, *server, *rp)
+                            }
+                            None => Action::Nothing,
+                        }
+                    }
+                    ProcState::Stopped => {
+                        // SIGCONT/SIGKILL handling happens at kill time.
+                        Action::Nothing
+                    }
+                    ProcState::Runnable | ProcState::Zombie { .. } => Action::Nothing,
+                }
+            };
+            match action {
+                Action::Nothing => {}
+                Action::Wake => self.machines[mid].make_runnable(pid),
+                Action::CompleteSleep => {
+                    self.complete_pending(mid, pid, SysRetval::ok(0));
+                    self.machines[mid].make_runnable(pid);
+                }
+                Action::CompleteRemote(status, server, rp) => {
+                    // rsh teardown: sync clocks and charge the teardown
+                    // phase; local and daemon completions skip it (the
+                    // daemon marker is remembered per waiter).
+                    let server_now = self.machines[server].now;
+                    let teardown =
+                        server != mid && !self.daemon_waiters.remove(&(mid, pid.as_u32()));
+                    let m = &mut self.machines[mid];
+                    m.now = m.now.max(server_now);
+                    if teardown {
+                        let c = RshPhase::Teardown.cost(&self.config.cost);
+                        m.charge_sys(Some(pid), c);
+                    }
+                    self.complete_pending(
+                        mid,
+                        pid,
+                        SysRetval::with_data(status, rp.as_u32().to_be_bytes().to_vec()),
+                    );
+                    self.machines[mid].make_runnable(pid);
+                }
+            }
+        }
+    }
+
+    /// Would delivering the pending signals do anything (i.e. are they
+    /// not all ignored)? Used to decide whether to interrupt a sleep.
+    fn signal_would_act(&self, mid: MachineId, pid: Pid) -> bool {
+        let Some(p) = self.proc_ref(mid, pid) else {
+            return false;
+        };
+        let deliverable = p.sig_pending & !p.user.sigs.blocked;
+        for sig in Signal::ALL {
+            if deliverable & (1 << (sig.number() - 1)) == 0 {
+                continue;
+            }
+            let disp = p.user.sigs.dispositions[(sig.number() - 1) as usize];
+            let acts = match disp {
+                sysdefs::Disposition::Ignore => false,
+                sysdefs::Disposition::Handler(_) => true,
+                sysdefs::Disposition::Default => !matches!(
+                    sig.default_action(),
+                    sysdefs::DefaultAction::Ignore | sysdefs::DefaultAction::Continue
+                ),
+            };
+            if acts {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Is the pipe/socket a `PipeWait` process is parked on ready for
+    /// its pending operation?
+    fn pipe_ready(&self, mid: MachineId, pid: Pid) -> bool {
+        let Some(p) = self.proc_ref(mid, pid) else {
+            return false;
+        };
+        let (fd, is_read, len) = match &p.pending_syscall {
+            Some(Syscall::Read { fd, len, .. }) => (*fd, true, *len),
+            Some(Syscall::Write { fd, bytes }) => (*fd, false, bytes.len()),
+            _ => return true, // Unknown op: wake and let the retry sort it out.
+        };
+        let Some(idx) = p.user.fds.get(fd).copied().flatten() else {
+            return true;
+        };
+        let m = &self.machines[mid];
+        let Some(f) = m.files.get(idx) else {
+            return true;
+        };
+        let buf = match &f.kind {
+            FileKind::Pipe { id, .. } => m.pipes.get(*id).and_then(|x| x.as_ref()),
+            FileKind::Socket { id, side } => {
+                let b = m.sockets.get(*id).and_then(|x| x.as_ref());
+                b.map(|s| {
+                    if is_read {
+                        &s.bufs[1 - *side]
+                    } else {
+                        &s.bufs[*side]
+                    }
+                })
+            }
+            _ => return true,
+        };
+        let Some(buf) = buf else {
+            return true;
+        };
+        if is_read {
+            !buf.data.is_empty() || buf.writers == 0
+        } else {
+            buf.readers == 0 || buf.data.len() + len <= 4096
+        }
+    }
+
+    /// Delivers a completed blocked call: write VM registers or send the
+    /// native response, then clear the pending record.
+    pub(crate) fn complete_pending(&mut self, mid: MachineId, pid: Pid, ret: SysRetval) {
+        let Some(p) = self.proc_mut(mid, pid) else {
+            return;
+        };
+        let sc = p.pending_syscall.take();
+        p.restart_pc = None;
+        match &mut p.body {
+            Body::Vm(vm) => {
+                if let Some(sc) = sc {
+                    vmabi::writeback(&mut vm.cpu, &mut vm.mem, &sc, &ret);
+                }
+            }
+            Body::Native(chan) => {
+                let _ = chan.resp_tx.send(Response {
+                    val: ret.val,
+                    data: ret.data,
+                    overlaid: false,
+                });
+            }
+            Body::Idle => {}
+        }
+    }
+
+    /// The earliest timer (sleep or alarm) on a machine.
+    fn earliest_deadline(&self, mid: MachineId) -> Option<SimTime> {
+        self.machines[mid]
+            .procs
+            .values()
+            .flat_map(|p| {
+                let sleep = match p.state {
+                    ProcState::Sleeping { until } => Some(until),
+                    _ => None,
+                };
+                [sleep, p.alarm_at].into_iter().flatten()
+            })
+            .min()
+    }
+
+    /// Runs one scheduling action on a machine. Returns false if the
+    /// machine is idle (nothing runnable, wakeable or sleeping).
+    pub fn step_machine(&mut self, mid: MachineId) -> bool {
+        self.wake_scan(mid);
+        if self.machines[mid].run_queue.is_empty() {
+            // Jump the clock to the earliest timer, if any.
+            let Some(t) = self.earliest_deadline(mid) else {
+                return false;
+            };
+            self.machines[mid].now = self.machines[mid].now.max(t);
+            self.wake_scan(mid);
+            if self.machines[mid].run_queue.is_empty() {
+                return false;
+            }
+        }
+        let Some(pid) = self.machines[mid].run_queue.pop_front() else {
+            return false;
+        };
+        let runnable = self
+            .proc_ref(mid, pid)
+            .map(|p| p.state.is_runnable())
+            .unwrap_or(false);
+        if !runnable {
+            return true;
+        }
+        // Context switch.
+        if self.machines[mid].last_run != Some(pid) {
+            let c = self.config.cost.context_switch();
+            let m = &mut self.machines[mid];
+            m.stats.ctx_switches += 1;
+            m.charge_sys(None, c);
+            m.last_run = Some(pid);
+        }
+        // Signals first — this is where a posted SIGDUMP takes effect,
+        // in the context of the dumped process.
+        if !deliver_pending(self, mid, pid) {
+            return true;
+        }
+        // Retry a blocked system call.
+        if let Some(sc) = self
+            .proc_ref(mid, pid)
+            .and_then(|p| p.pending_syscall.clone())
+        {
+            match do_syscall(self, mid, pid, &sc) {
+                SyscallResult::Done(ret) => {
+                    self.complete_pending(mid, pid, ret);
+                }
+                SyscallResult::Blocked => return true, // Re-parked.
+                SyscallResult::Gone => return true,
+            }
+        }
+        // Run a quantum.
+        let body_kind = match self.proc_ref(mid, pid).map(|p| &p.body) {
+            Some(Body::Vm(_)) => 0,
+            Some(Body::Native(_)) => 1,
+            _ => 2,
+        };
+        match body_kind {
+            0 => self.run_vm_quantum(mid, pid),
+            1 => self.run_native_quantum(mid, pid),
+            _ => {}
+        }
+        // Requeue if still runnable.
+        let requeue = self
+            .proc_ref(mid, pid)
+            .map(|p| p.state.is_runnable())
+            .unwrap_or(false);
+        if requeue {
+            let m = &mut self.machines[mid];
+            if !m.run_queue.contains(&pid) {
+                m.run_queue.push_back(pid);
+            }
+        }
+        true
+    }
+
+    /// Interprets VM instructions for up to one quantum.
+    fn run_vm_quantum(&mut self, mid: MachineId, pid: Pid) {
+        let isa = self.machines[mid].isa;
+        let quantum_units = self.config.cost.quantum_us / self.config.cost.instr_us.max(1);
+        let mut spent: u64 = 0;
+        loop {
+            // Stop early if a signal arrived mid-quantum.
+            if self
+                .proc_ref(mid, pid)
+                .map(|p| p.signal_pending())
+                .unwrap_or(true)
+            {
+                break;
+            }
+            let step = {
+                let Some(p) = self.proc_mut(mid, pid) else {
+                    break;
+                };
+                let Body::Vm(vm) = &mut p.body else { break };
+                vm.cpu.step(&mut vm.mem, isa)
+            };
+            match step {
+                StepEvent::Executed { units } => {
+                    spent += units as u64;
+                    if spent >= quantum_units {
+                        break;
+                    }
+                }
+                StepEvent::Trap { vector: 0, units } => {
+                    spent += units as u64;
+                    // Decode, dispatch, write back.
+                    let decoded = {
+                        let Some(p) = self.proc_ref(mid, pid) else {
+                            break;
+                        };
+                        let Body::Vm(vm) = &p.body else { break };
+                        vmabi::decode_trap(&vm.cpu, &vm.mem)
+                    };
+                    match decoded {
+                        Err(e) => {
+                            if let Some(p) = self.proc_mut(mid, pid) {
+                                if let Body::Vm(vm) = &mut p.body {
+                                    vmabi::write_errno(&mut vm.cpu, e);
+                                }
+                            }
+                        }
+                        Ok(sc) => match do_syscall(self, mid, pid, &sc) {
+                            SyscallResult::Done(ret) => {
+                                if let Some(p) = self.proc_mut(mid, pid) {
+                                    if let Body::Vm(vm) = &mut p.body {
+                                        vmabi::writeback(&mut vm.cpu, &mut vm.mem, &sc, &ret);
+                                    }
+                                }
+                            }
+                            SyscallResult::Blocked => {
+                                if let Some(p) = self.proc_mut(mid, pid) {
+                                    p.pending_syscall = Some(sc);
+                                    if let Body::Vm(vm) = &p.body {
+                                        p.restart_pc =
+                                            Some(vm.cpu.pc.wrapping_sub(vmabi::TRAP_LEN));
+                                    }
+                                }
+                                break;
+                            }
+                            SyscallResult::Gone => break,
+                        },
+                    }
+                    if spent >= quantum_units {
+                        break;
+                    }
+                }
+                StepEvent::Trap { units, .. } => {
+                    // Unknown trap vector: SIGSYS.
+                    spent += units as u64;
+                    if let Some(p) = self.proc_mut(mid, pid) {
+                        p.post_signal(Signal::SIGSYS);
+                    }
+                    break;
+                }
+                StepEvent::Faulted(f) => {
+                    let sig = match f {
+                        m68vm::Fault::Unmapped { .. } | m68vm::Fault::StackOverflow { .. } => {
+                            Signal::SIGSEGV
+                        }
+                        m68vm::Fault::WriteToText { .. } => Signal::SIGBUS,
+                        m68vm::Fault::IllegalInstruction { .. }
+                        | m68vm::Fault::IsaViolation { .. } => Signal::SIGILL,
+                        m68vm::Fault::DivZero { .. } => Signal::SIGFPE,
+                    };
+                    if let Some(p) = self.proc_mut(mid, pid) {
+                        p.post_signal(sig);
+                    }
+                    break;
+                }
+            }
+        }
+        if spent > 0 {
+            let cpu = SimDuration::micros(spent * self.config.cost.instr_us);
+            self.machines[mid].charge_user(pid, cpu);
+        }
+    }
+
+    /// Services native requests for one scheduling slice.
+    fn run_native_quantum(&mut self, mid: MachineId, pid: Pid) {
+        let mut budget = 64u32;
+        while budget > 0 {
+            budget -= 1;
+            // Receive the next request (host-blocking rendezvous) and
+            // keep a response sender that survives a body swap.
+            let (req, resp_tx) = {
+                let Some(p) = self.proc_mut(mid, pid) else {
+                    return;
+                };
+                let Body::Native(chan) = &p.body else { return };
+                let resp_tx = chan.resp_tx.clone();
+                match chan.req_rx.recv() {
+                    Ok(r) => (r, resp_tx),
+                    Err(_) => {
+                        // Thread gone without an exit request.
+                        self.do_exit(mid, pid, 255);
+                        return;
+                    }
+                }
+            };
+            // A little user-level CPU per call (libc and argument
+            // marshalling).
+            self.machines[mid].charge_user(pid, SimDuration::micros(50));
+            match req {
+                Request::Syscall(sc) => {
+                    let was_overlay_call =
+                        matches!(sc, Syscall::Execve { .. } | Syscall::RestProc { .. });
+                    match do_syscall(self, mid, pid, &sc) {
+                        SyscallResult::Done(ret) => {
+                            if resp_tx
+                                .send(Response {
+                                    val: ret.val,
+                                    data: ret.data,
+                                    overlaid: false,
+                                })
+                                .is_err()
+                            {
+                                self.do_exit(mid, pid, 255);
+                                return;
+                            }
+                        }
+                        SyscallResult::Blocked => {
+                            if let Some(p) = self.proc_mut(mid, pid) {
+                                p.pending_syscall = Some(sc);
+                            }
+                            return;
+                        }
+                        SyscallResult::Gone => {
+                            if was_overlay_call {
+                                // execve/rest_proc succeeded: the body is
+                                // now a VM image; unwind the old thread.
+                                let _ = resp_tx.send(Response {
+                                    val: Ok(0),
+                                    data: Vec::new(),
+                                    overlaid: true,
+                                });
+                            }
+                            return;
+                        }
+                    }
+                }
+                Request::Compute { units } => {
+                    let cpu = SimDuration::micros(units * self.config.cost.instr_us);
+                    self.machines[mid].charge_user(pid, cpu);
+                    let _ = resp_tx.send(Response {
+                        val: Ok(0),
+                        data: Vec::new(),
+                        overlaid: false,
+                    });
+                }
+                Request::RunLocal { prog, comm } => {
+                    let cred = self
+                        .cred_of(mid, pid)
+                        .unwrap_or_else(|_| Credentials::root());
+                    let tty = self.proc_ref(mid, pid).and_then(|p| p.user.tty);
+                    let child = self.spawn_native_proc(mid, &comm, tty, cred, prog);
+                    if let Some(p) = self.proc_mut(mid, pid) {
+                        p.state = ProcState::RemoteWait {
+                            server: mid,
+                            pid: child,
+                        };
+                    }
+                    return;
+                }
+                Request::Daemon { host, prog, comm } => {
+                    let Some(server) = self.find_machine(&host) else {
+                        let _ = resp_tx.send(Response {
+                            val: Err(Errno::EHOSTUNREACH),
+                            data: Vec::new(),
+                            overlaid: false,
+                        });
+                        continue;
+                    };
+                    // One message to the daemon's well-known port, plus
+                    // the daemon's fork/exec of the command.
+                    let msg = self.ether.send(&self.config.cost, 256);
+                    self.machines[mid].charge_sys(Some(pid), msg);
+                    let dispatch = Cost::cpu_us(20_000).plus(Cost::wait_us(100_000));
+                    self.machines[mid].charge_sys(Some(pid), dispatch);
+                    let client_now = self.machines[mid].now;
+                    let s = &mut self.machines[server];
+                    s.now = s.now.max(client_now);
+                    let (pipe_id, _handle) = self.add_remote_pipe();
+                    let cred = self
+                        .cred_of(mid, pid)
+                        .unwrap_or_else(|_| Credentials::root());
+                    let child = self.spawn_native_proc(server, &comm, Some(pipe_id), cred, prog);
+                    self.daemon_waiters.insert((mid, pid.as_u32()));
+                    if let Some(p) = self.proc_mut(mid, pid) {
+                        p.state = ProcState::RemoteWait { server, pid: child };
+                    }
+                    return;
+                }
+                Request::Rsh { host, prog, comm } => {
+                    let Some(server) = self.find_machine(&host) else {
+                        let _ = resp_tx.send(Response {
+                            val: Err(Errno::EHOSTUNREACH),
+                            data: Vec::new(),
+                            overlaid: false,
+                        });
+                        continue;
+                    };
+                    // Connection establishment, all charged to the
+                    // caller's clock before the remote command starts.
+                    for phase in [
+                        RshPhase::NameLookup,
+                        RshPhase::Connect,
+                        RshPhase::Auth,
+                        RshPhase::Spawn,
+                    ] {
+                        let c = phase.cost(&self.config.cost);
+                        self.machines[mid].charge_sys(Some(pid), c);
+                    }
+                    // The remote side starts no earlier than the client's
+                    // current time.
+                    let client_now = self.machines[mid].now;
+                    let s = &mut self.machines[server];
+                    s.now = s.now.max(client_now);
+                    // rshd gives the command a degraded pipe terminal —
+                    // the reason migrate cannot preserve terminal modes
+                    // remotely.
+                    let (pipe_id, _handle) = self.add_remote_pipe();
+                    let cred = self
+                        .cred_of(mid, pid)
+                        .unwrap_or_else(|_| Credentials::root());
+                    let child = self.spawn_native_proc(server, &comm, Some(pipe_id), cred, prog);
+                    if let Some(p) = self.proc_mut(mid, pid) {
+                        p.state = ProcState::RemoteWait { server, pid: child };
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run loops.
+    // ------------------------------------------------------------------
+
+    /// Picks the machine with work and the smallest local clock; returns
+    /// false when every machine is idle.
+    fn step_world(&mut self) -> bool {
+        let mut best: Option<(MachineId, SimTime)> = None;
+        for mid in 0..self.machines.len() {
+            self.wake_scan(mid);
+            let m = &self.machines[mid];
+            let has_work = !m.run_queue.is_empty() || self.earliest_deadline(mid).is_some();
+            if has_work {
+                let now = m.now;
+                if best.map(|(_, t)| now < t).unwrap_or(true) {
+                    best = Some((mid, now));
+                }
+            }
+        }
+        match best {
+            Some((mid, _)) => self.step_machine(mid),
+            None => false,
+        }
+    }
+
+    /// Runs until idle or until `max_slices` scheduling actions.
+    pub fn run_slices(&mut self, max_slices: u64) -> RunOutcome {
+        for _ in 0..max_slices {
+            if !self.step_world() {
+                return RunOutcome::Idle;
+            }
+        }
+        RunOutcome::BudgetExhausted
+    }
+
+    /// Runs until the given process has exited, returning its record.
+    pub fn run_until_exit(
+        &mut self,
+        mid: MachineId,
+        pid: Pid,
+        max_slices: u64,
+    ) -> Option<ExitInfo> {
+        for _ in 0..max_slices {
+            if let Some(info) = self.finished.get(&(mid, pid.as_u32())) {
+                return Some(info.clone());
+            }
+            if !self.step_world() {
+                break;
+            }
+        }
+        self.finished.get(&(mid, pid.as_u32())).cloned()
+    }
+
+    /// Runs until every machine's clock passes `deadline` or the world
+    /// goes idle; clocks of machines without work park at the deadline.
+    pub fn run_until_time(&mut self, deadline: SimTime, max_slices: u64) -> RunOutcome {
+        for _ in 0..max_slices {
+            // Pick the machine with work that is still before the
+            // deadline and has the smallest clock.
+            let mut best: Option<(MachineId, SimTime)> = None;
+            for mid in 0..self.machines.len() {
+                self.wake_scan(mid);
+                let m = &self.machines[mid];
+                if m.now >= deadline {
+                    continue;
+                }
+                let has_work = !m.run_queue.is_empty() || self.earliest_deadline(mid).is_some();
+                if has_work && best.map(|(_, t)| m.now < t).unwrap_or(true) {
+                    best = Some((mid, m.now));
+                }
+            }
+            match best {
+                Some((mid, _)) => {
+                    self.step_machine(mid);
+                }
+                None => {
+                    // Everyone is past the deadline or idle: park the
+                    // remaining clocks at the deadline.
+                    for m in &mut self.machines {
+                        m.now = m.now.max(deadline);
+                    }
+                    return RunOutcome::Idle;
+                }
+            }
+        }
+        RunOutcome::BudgetExhausted
+    }
+
+    /// Reaps a zombie from outside (tests and the figure harness).
+    pub fn host_reap(&mut self, mid: MachineId, pid: Pid) {
+        self.machines[mid].procs.remove(&pid.as_u32());
+    }
+
+    /// A `ps`-style listing of a machine's processes, for diagnostics,
+    /// examples and the interactive driver.
+    pub fn ps(&self, mid: MachineId) -> String {
+        let m = &self.machines[mid];
+        let mut out = format!(
+            "{:<6} {:<6} {:<10} {:>10} {:>10} {:<12} COMM\n",
+            "PID", "PPID", "STATE", "UTIME", "STIME", "TTY"
+        );
+        for p in m.procs.values() {
+            let state = match &p.state {
+                ProcState::Runnable => "run".to_string(),
+                ProcState::Sleeping { .. } => "sleep".to_string(),
+                ProcState::TtyWait { .. } => "ttyin".to_string(),
+                ProcState::PipeWait => "pipe".to_string(),
+                ProcState::ChildWait => "wait".to_string(),
+                ProcState::RemoteWait { .. } => "remote".to_string(),
+                ProcState::Stopped => "stopped".to_string(),
+                ProcState::Zombie { status } => format!("zombie({status})"),
+            };
+            let tty = p
+                .user
+                .tty
+                .map(|t| format!("tty{t}"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{:<6} {:<6} {:<10} {:>10} {:>10} {:<12} {}\n",
+                p.pid.as_u32(),
+                p.ppid.as_u32(),
+                state,
+                p.utime.to_string(),
+                p.stime.to_string(),
+                tty,
+                p.comm
+            ));
+        }
+        out
+    }
+
+    /// Posts a signal from outside the simulation (tests and the figure
+    /// harness), bypassing credential checks like a console operator.
+    pub fn host_post_signal(&mut self, mid: MachineId, pid: Pid, sig: Signal) {
+        if let Some(p) = self.proc_mut(mid, pid) {
+            if sig == Signal::SIGCONT && matches!(p.state, ProcState::Stopped) {
+                p.state = ProcState::Runnable;
+            }
+            p.post_signal(sig);
+        }
+        self.machines[mid].nudge(pid);
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("machines", &self.machines.len())
+            .field("terminals", &self.terminals.len())
+            .field("finished", &self.finished.len())
+            .finish()
+    }
+}

@@ -1,0 +1,24 @@
+//! An in-memory inode filesystem with directories, symbolic links,
+//! devices and the path algebra the paper's kernel modifications need.
+//!
+//! Each simulated machine owns one [`Filesystem`]. Three design points
+//! mirror the paper:
+//!
+//! * **Path strings are first-class.** [`path::combine`] implements
+//!   exactly the paper's §5.1 bookkeeping: an absolute argument replaces
+//!   the stored current-directory string, a relative one is combined with
+//!   it, "resolving any references to the current or parent directories".
+//!   Symbolic links are deliberately *not* resolved by this algebra — that
+//!   is the whole reason `dumpproc` must later resolve them with
+//!   `readlink()`.
+//! * **Symlink expansion is the caller's job.** [`Filesystem::walk`]
+//!   stops and *returns* every symbolic link it meets; the kernel decides
+//!   how to continue (client-side restart, or the NFS server-side rules
+//!   that reproduce the paper's `/n/classic/n/brador` failure).
+//! * **Devices are leaves.** `/dev/null` and `/dev/tty*` are inodes whose
+//!   I/O the kernel routes; the filesystem only names them.
+
+pub mod fs;
+pub mod path;
+
+pub use fs::{DeviceId, Filesystem, Ino, Inode, InodeKind, WalkOutcome};
