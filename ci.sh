@@ -1,0 +1,13 @@
+#!/bin/sh
+# CI smoke check: build, full test suite, lints, and a run-once pass
+# over every criterion benchmark (CRITERION's --test mode executes each
+# bench body a single time, so it catches bench bit-rot cheaply).
+#
+# The root package carries only integration tests; build and test with
+# --workspace so every crate compiles and runs.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo bench -p bench --bench simulator -- --test

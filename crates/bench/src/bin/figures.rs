@@ -9,6 +9,7 @@
 //! figures --json          # machine-readable output (EXPERIMENTS.md)
 //! ```
 
+use bench::json::{to_string_pretty, Json, ToJson};
 use bench::scenarios;
 
 fn hr(title: &str) {
@@ -19,7 +20,7 @@ fn hr(title: &str) {
 fn run_fig1(json: bool) {
     let rows = scenarios::fig1();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        println!("{}", to_string_pretty(rows.as_slice()));
         return;
     }
     hr("Figure 1: performance of modified system calls (system CPU per op)");
@@ -38,7 +39,7 @@ fn run_fig1(json: bool) {
 fn run_fig2(json: bool) {
     let rows = scenarios::fig2();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        println!("{}", to_string_pretty(rows.as_slice()));
         return;
     }
     hr("Figure 2: SIGQUIT vs SIGDUMP vs dumpproc (normalised to SIGQUIT)");
@@ -63,7 +64,7 @@ fn run_fig2(json: bool) {
 fn run_fig3(json: bool) {
     let rows = scenarios::fig3();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        println!("{}", to_string_pretty(rows.as_slice()));
         return;
     }
     hr("Figure 3: execve vs rest_proc vs restart (normalised to execve)");
@@ -88,7 +89,7 @@ fn run_fig3(json: bool) {
 fn run_fig4(json: bool) {
     let rows = scenarios::fig4();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        println!("{}", to_string_pretty(rows.as_slice()));
         return;
     }
     hr("Figure 4: migrate real time vs dumpproc+restart (=1)");
@@ -113,13 +114,13 @@ fn run_ablations(json: bool) {
     if json {
         println!(
             "{}",
-            serde_json::json!({
-                "daemon": daemon,
-                "virtualization": virt,
-                "name_strings": names,
-                "checkpoint": ckpt,
-                "loadbal": loadbal,
-            })
+            Json::Obj(vec![
+                ("daemon".into(), daemon.to_json()),
+                ("virtualization".into(), virt.to_json()),
+                ("name_strings".into(), names.to_json()),
+                ("checkpoint".into(), ckpt.to_json()),
+                ("loadbal".into(), loadbal.to_json()),
+            ])
         );
         return;
     }

@@ -3,7 +3,7 @@
 use m68vm::{assemble, IsaLevel};
 use pmig::commands::RestartArgs;
 use pmig::{api, workloads};
-use serde::Serialize;
+use crate::json::impl_to_json;
 use simtime::{SimDuration, SimTime};
 use sysdefs::{Credentials, Gid, Pid, Signal, Uid};
 use ukernel::{KernelConfig, World};
@@ -21,7 +21,7 @@ fn ms(d: SimDuration) -> f64 {
 // ---------------------------------------------------------------------
 
 /// One bar pair of Figure 1.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig1Row {
     /// Which system call(s).
     pub syscall: String,
@@ -89,7 +89,7 @@ pub fn fig1() -> Vec<Fig1Row> {
 // ---------------------------------------------------------------------
 
 /// One bar pair of Figure 2.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig2Row {
     /// SIGQUIT, SIGDUMP or dumpproc.
     pub case: String,
@@ -206,7 +206,7 @@ pub fn fig2() -> Vec<Fig2Row> {
 // ---------------------------------------------------------------------
 
 /// One bar pair of Figure 3.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig3Row {
     /// execve(), rest_proc() or restart.
     pub case: String,
@@ -310,7 +310,7 @@ pub fn fig3() -> Vec<Fig3Row> {
 // ---------------------------------------------------------------------
 
 /// One bar of Figure 4.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4Row {
     /// Where dumpproc and restart execute relative to the migrate
     /// command: L-L, L-R, R-L or R-R.
@@ -416,7 +416,7 @@ pub fn fig4() -> Vec<Fig4Row> {
 // ---------------------------------------------------------------------
 
 /// A1: migrate over rsh vs over the §6.4 daemon (both halves remote).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationDaemonRow {
     /// Transport used.
     pub transport: String,
@@ -462,7 +462,7 @@ pub fn ablation_daemon() -> Vec<AblationDaemonRow> {
 }
 
 /// A2: does the pid-dependent program survive migration?
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationVirtRow {
     /// Kernel flavour.
     pub kernel: String,
@@ -518,7 +518,7 @@ pub fn ablation_virt() -> Vec<AblationVirtRow> {
 }
 
 /// A3: kernel memory for name strings, dynamic vs fixed-size.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationNamesRow {
     /// Allocation strategy.
     pub strategy: String,
@@ -567,7 +567,7 @@ pub fn ablation_names() -> Vec<AblationNamesRow> {
 }
 
 /// A4: checkpoint interval sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationCheckpointRow {
     /// Interval between snapshots (ms), 0 = no checkpointing.
     pub interval_ms: u64,
@@ -648,7 +648,7 @@ pub fn ablation_checkpoint() -> Vec<AblationCheckpointRow> {
 }
 
 /// A5: load balancing makespan.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationLoadbalRow {
     /// Scheduling policy.
     pub policy: String,
@@ -713,3 +713,17 @@ pub fn ablation_loadbal() -> Vec<AblationLoadbalRow> {
         },
     ]
 }
+
+// ---------------------------------------------------------------------
+// JSON field listings for the `figures --json` output.
+// ---------------------------------------------------------------------
+
+impl_to_json!(Fig1Row { syscall, original_ms, modified_ms, ratio, paper_ratio });
+impl_to_json!(Fig2Row { case, cpu_ms, real_ms, cpu_ratio, real_ratio, paper_cpu_ratio, paper_real_ratio });
+impl_to_json!(Fig3Row { case, cpu_ms, real_ms, cpu_ratio, real_ratio, paper_cpu_ratio, paper_real_ratio });
+impl_to_json!(Fig4Row { case, real_ms, ratio, paper_ratio });
+impl_to_json!(AblationDaemonRow { transport, real_ms });
+impl_to_json!(AblationVirtRow { kernel, status });
+impl_to_json!(AblationNamesRow { strategy, peak_bytes });
+impl_to_json!(AblationCheckpointRow { interval_ms, completion_ms, overhead, expected_loss_ms });
+impl_to_json!(AblationLoadbalRow { policy, makespan_ms, migrations });

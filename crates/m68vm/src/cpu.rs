@@ -1,6 +1,7 @@
 //! The CPU interpreter.
 
 use crate::encode::{decode, CodecError};
+use crate::icache::{ICache, Slot};
 use crate::isa::{Instr, IsaLevel, Op, Operand, Size};
 use crate::mem::{Memory, MemoryLayout};
 
@@ -151,8 +152,24 @@ impl Cpu {
         self.set_flag(ccr::Z, masked == 0);
     }
 
+    /// Sets all four condition codes in one status-register store: C and
+    /// V as given, N and Z from `value` at `size`. Equivalent to
+    /// `set_nz` + two `set_flag` calls, but the interpreter's hot arms
+    /// pay one read-modify-write instead of four.
+    #[inline(always)]
+    fn set_ccr(&mut self, c: bool, v: bool, value: u32, size: Size) {
+        let (mask, msb) = size_mask(size);
+        let masked = value & mask;
+        let bits = (c as u16 * ccr::C)
+            | (v as u16 * ccr::V)
+            | if masked == 0 { ccr::Z } else { 0 }
+            | if masked & msb != 0 { ccr::N } else { 0 };
+        self.sr = (self.sr & !(ccr::C | ccr::V | ccr::Z | ccr::N)) | bits;
+    }
+
     /// Computes the effective address for a memory operand, applying
     /// post-increment/pre-decrement side effects exactly once.
+    #[inline(always)]
     fn effective_addr(&mut self, op: Operand, size: Size) -> Option<u32> {
         match op {
             Operand::Abs(a) => Some(a),
@@ -188,20 +205,7 @@ impl Cpu {
         }
     }
 
-    fn reg_read(&self, op: Operand, size: Size) -> u32 {
-        let raw = match op {
-            Operand::DReg(r) => self.d[r as usize],
-            Operand::AReg(r) => self.a[r as usize],
-            Operand::Imm(v) => v,
-            _ => unreachable!("reg_read on memory operand"),
-        };
-        match size {
-            Size::Byte => raw & 0xff,
-            Size::Word => raw & 0xffff,
-            Size::Long => raw,
-        }
-    }
-
+    #[inline(always)]
     fn reg_write(&mut self, op: Operand, size: Size, v: u32) {
         let slot = match op {
             Operand::DReg(r) => &mut self.d[r as usize],
@@ -217,6 +221,7 @@ impl Cpu {
 
     /// Reads an operand's value; `ea` caches a precomputed effective
     /// address so read-modify-write instructions apply side effects once.
+    #[inline(always)]
     fn read_operand(
         &mut self,
         mem: &Memory,
@@ -224,15 +229,23 @@ impl Cpu {
         size: Size,
         ea: Option<u32>,
     ) -> Result<u32, Fault> {
-        match op {
-            Operand::DReg(_) | Operand::AReg(_) | Operand::Imm(_) => Ok(self.reg_read(op, size)),
+        let raw = match op {
+            Operand::DReg(r) => self.d[r as usize],
+            Operand::AReg(r) => self.a[r as usize],
+            Operand::Imm(v) => v,
             _ => {
                 let addr = ea.expect("memory operand without effective address");
-                Self::read_sized(mem, addr, size)
+                return Self::read_sized(mem, addr, size);
             }
-        }
+        };
+        Ok(match size {
+            Size::Byte => raw & 0xff,
+            Size::Word => raw & 0xffff,
+            Size::Long => raw,
+        })
     }
 
+    #[inline(always)]
     fn write_operand(
         &mut self,
         mem: &mut Memory,
@@ -334,6 +347,46 @@ impl Cpu {
         }
     }
 
+    /// Executes one instruction through a predecoded text cache.
+    ///
+    /// Behaviourally identical to [`Cpu::step`] at the cache's ISA level
+    /// (see `icache::tests`): cache slots reproduce the decode faults
+    /// and the per-instruction `cost_units()` exactly, and a PC outside
+    /// cacheable text (unaligned, or code running from data/stack)
+    /// falls back to the live decoder. The ISA level travels with the
+    /// cache — validation already happened at build time — which keeps
+    /// the two from disagreeing.
+    pub fn step_cached(&mut self, mem: &mut Memory, icache: &ICache) -> StepEvent {
+        match icache.lookup(self.pc) {
+            Some(Slot::Instr { instr, ilen, units }) => {
+                let (ilen, units) = (*ilen, *units);
+                let next_pc = self.pc.wrapping_add(ilen);
+                match self.execute(mem, instr, next_pc) {
+                    Ok(Flow::Next) => {
+                        self.pc = next_pc;
+                        StepEvent::Executed { units }
+                    }
+                    Ok(Flow::Jump(target)) => {
+                        self.pc = target;
+                        StepEvent::Executed { units }
+                    }
+                    Ok(Flow::Trap(vector)) => {
+                        self.pc = next_pc;
+                        StepEvent::Trap { vector, units }
+                    }
+                    Err(f) => StepEvent::Faulted(f),
+                }
+            }
+            Some(Slot::Illegal) => StepEvent::Faulted(Fault::IllegalInstruction { pc: self.pc }),
+            Some(Slot::Truncated) => StepEvent::Faulted(Fault::Unmapped { addr: self.pc }),
+            Some(&Slot::IsaViolation(op)) => {
+                StepEvent::Faulted(Fault::IsaViolation { pc: self.pc, op })
+            }
+            None => self.step(mem, icache.level()),
+        }
+    }
+
+    #[inline]
     fn execute(&mut self, mem: &mut Memory, i: &Instr, next_pc: u32) -> Result<Flow, Fault> {
         let size = i.size;
         let src_ea = self.effective_addr(i.src, size);
@@ -343,9 +396,7 @@ impl Cpu {
             Op::Move => {
                 let v = self.read_operand(mem, i.src, size, src_ea)?;
                 self.write_operand(mem, i.dst, size, dst_ea, v)?;
-                self.set_nz(v, size);
-                self.set_flag(ccr::V, false);
-                self.set_flag(ccr::C, false);
+                self.set_ccr(false, false, v, size);
                 Ok(Flow::Next)
             }
             Op::Lea => {
@@ -370,14 +421,15 @@ impl Cpu {
                 } else {
                     d.wrapping_sub(s)
                 } & mask;
-                if i.op == Op::Add {
-                    self.set_flag(ccr::C, (d as u64 + s as u64) > mask as u64);
-                    self.set_flag(ccr::V, ((d ^ result) & (s ^ result) & msb) != 0);
+                let (c, v) = if i.op == Op::Add {
+                    (
+                        (d as u64 + s as u64) > mask as u64,
+                        ((d ^ result) & (s ^ result) & msb) != 0,
+                    )
                 } else {
-                    self.set_flag(ccr::C, s > d);
-                    self.set_flag(ccr::V, ((d ^ s) & (d ^ result) & msb) != 0);
-                }
-                self.set_nz(result, size);
+                    (s > d, ((d ^ s) & (d ^ result) & msb) != 0)
+                };
+                self.set_ccr(c, v, result, size);
                 if i.op != Op::Cmp {
                     self.write_operand(mem, i.dst, size, dst_ea, result)?;
                 }
@@ -387,9 +439,7 @@ impl Cpu {
                 let s = self.read_operand(mem, i.src, size, src_ea)? as i32;
                 let d = self.read_operand(mem, i.dst, size, dst_ea)? as i32;
                 let r = d.wrapping_mul(s) as u32;
-                self.set_nz(r, Size::Long);
-                self.set_flag(ccr::V, false);
-                self.set_flag(ccr::C, false);
+                self.set_ccr(false, false, r, Size::Long);
                 self.write_operand(mem, i.dst, Size::Long, dst_ea, r)?;
                 Ok(Flow::Next)
             }
@@ -400,9 +450,7 @@ impl Cpu {
                 }
                 let d = self.read_operand(mem, i.dst, size, dst_ea)? as i32;
                 let r = d.wrapping_div(s) as u32;
-                self.set_nz(r, Size::Long);
-                self.set_flag(ccr::V, false);
-                self.set_flag(ccr::C, false);
+                self.set_ccr(false, false, r, Size::Long);
                 self.write_operand(mem, i.dst, Size::Long, dst_ea, r)?;
                 Ok(Flow::Next)
             }
@@ -414,9 +462,7 @@ impl Cpu {
                     Op::Or => d | s,
                     _ => d ^ s,
                 };
-                self.set_nz(r, size);
-                self.set_flag(ccr::V, false);
-                self.set_flag(ccr::C, false);
+                self.set_ccr(false, false, r, size);
                 self.write_operand(mem, i.dst, size, dst_ea, r)?;
                 Ok(Flow::Next)
             }
@@ -428,9 +474,7 @@ impl Cpu {
                 } else {
                     d.wrapping_neg() & mask
                 };
-                self.set_nz(r, size);
-                self.set_flag(ccr::C, i.op == Op::Neg && r != 0);
-                self.set_flag(ccr::V, false);
+                self.set_ccr(i.op == Op::Neg && r != 0, false, r, size);
                 self.write_operand(mem, i.dst, size, dst_ea, r)?;
                 Ok(Flow::Next)
             }
@@ -439,50 +483,45 @@ impl Cpu {
                 let d = self.read_operand(mem, i.dst, size, dst_ea)?;
                 let (mask, _) = size_mask(size);
                 let d = d & mask;
-                let r = if count == 0 {
-                    self.set_flag(ccr::C, false);
-                    d
+                let (r, c) = if count == 0 {
+                    (d, false)
                 } else if count >= 32 {
                     let c = match i.op {
                         Op::Asr => (d as i32) < 0,
                         _ => false,
                     };
-                    self.set_flag(ccr::C, c);
-                    if i.op == Op::Asr && (d as i32) < 0 {
+                    let r = if i.op == Op::Asr && (d as i32) < 0 {
                         mask
                     } else {
                         0
-                    }
+                    };
+                    (r, c)
                 } else {
                     match i.op {
                         Op::Lsl => {
                             let c = (d >> (bits_of(size) as u32 - count.min(bits_of(size) as u32)))
                                 & 1
                                 != 0;
-                            self.set_flag(ccr::C, c && count <= bits_of(size) as u32);
-                            d.wrapping_shl(count) & mask
+                            (
+                                d.wrapping_shl(count) & mask,
+                                c && count <= bits_of(size) as u32,
+                            )
                         }
-                        Op::Lsr => {
-                            self.set_flag(ccr::C, (d >> (count - 1)) & 1 != 0);
-                            d >> count
-                        }
+                        Op::Lsr => (d >> count, (d >> (count - 1)) & 1 != 0),
                         _ => {
-                            self.set_flag(ccr::C, (d >> (count - 1)) & 1 != 0);
+                            let c = (d >> (count - 1)) & 1 != 0;
                             let sd = sign_extend(d, size);
-                            ((sd >> count) as u32) & mask
+                            (((sd >> count) as u32) & mask, c)
                         }
                     }
                 };
-                self.set_nz(r, size);
-                self.set_flag(ccr::V, false);
+                self.set_ccr(c, false, r, size);
                 self.write_operand(mem, i.dst, size, dst_ea, r)?;
                 Ok(Flow::Next)
             }
             Op::Tst => {
                 let d = self.read_operand(mem, i.dst, size, dst_ea)?;
-                self.set_nz(d, size);
-                self.set_flag(ccr::V, false);
-                self.set_flag(ccr::C, false);
+                self.set_ccr(false, false, d, size);
                 Ok(Flow::Next)
             }
             op if op.is_branch() => {

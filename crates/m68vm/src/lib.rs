@@ -27,12 +27,14 @@ pub mod asm;
 pub mod cpu;
 pub mod disasm;
 pub mod encode;
+pub mod icache;
 pub mod isa;
 pub mod mem;
 pub mod object;
 
 pub use asm::{assemble, AsmError};
 pub use cpu::{Cpu, Fault, StepEvent};
+pub use icache::ICache;
 pub use disasm::disassemble_one;
 pub use isa::{Instr, IsaLevel, Op, Operand, Size};
 pub use mem::{Memory, MemoryLayout};

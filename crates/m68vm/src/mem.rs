@@ -290,6 +290,23 @@ mod tests {
     }
 
     #[test]
+    fn restore_stack_at_exact_capacity_fills_the_region() {
+        let mut m = mem();
+        let full: Vec<u8> = (0..MemoryLayout::STACK_MAX).map(|i| i as u8).collect();
+        let sp = m.restore_stack(&full).expect("exactly STACK_MAX fits");
+        assert_eq!(sp, MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX);
+        assert_eq!(m.stack_from(sp).unwrap(), &full[..]);
+    }
+
+    #[test]
+    fn restore_empty_stack_yields_stack_top() {
+        let mut m = mem();
+        let sp = m.restore_stack(&[]).expect("empty contents are valid");
+        assert_eq!(sp, MemoryLayout::STACK_TOP);
+        assert_eq!(m.stack_from(sp).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
     fn cstr_reads_until_nul() {
         let mut m = mem();
         let d = m.data_base();

@@ -1,0 +1,215 @@
+//! Coherence tests for the predecoded instruction cache: with the
+//! cache on or off, every guest-visible artefact — dump files, restored
+//! register and memory images, terminal output, exit status and all
+//! simulated-time accounting — must be bit-identical. The cache is a
+//! host-side accelerator only.
+
+use m68vm::{assemble, Instr, IsaLevel, MemoryLayout, Op, Operand, Size};
+use pmig::commands::RestartArgs;
+use pmig::{api, workloads};
+use sysdefs::{Credentials, Gid, Pid, Uid};
+use ukernel::proc::Body;
+use ukernel::{KernelConfig, World};
+
+fn alice() -> Credentials {
+    Credentials::user(Uid(100), Gid(10))
+}
+
+fn config(use_icache: bool) -> KernelConfig {
+    let mut cfg = KernelConfig::paper();
+    cfg.use_icache = use_icache;
+    cfg
+}
+
+/// Boots brick + schooner, starts the §6.2 test program on brick and
+/// feeds it up to its `prompts`-th input prompt.
+fn boot_and_prompt(cfg: KernelConfig, prompts: u32) -> (World, usize, usize, Pid, tty::TtyHandle) {
+    let mut w = World::new(cfg);
+    let brick = w.add_machine("brick", IsaLevel::Isa1);
+    let schooner = w.add_machine("schooner", IsaLevel::Isa1);
+    let obj = assemble(workloads::TEST_PROGRAM).unwrap();
+    w.install_program(brick, "/bin/testprog", &obj).unwrap();
+    let (tty, handle) = w.add_terminal(brick);
+    let pid = w
+        .spawn_vm_proc(brick, "/bin/testprog", Some(tty), alice())
+        .unwrap();
+    w.run_slices(20_000);
+    for i in 1..prompts {
+        handle.type_input(&format!("line {i}\n"));
+        w.run_slices(20_000);
+    }
+    (w, brick, schooner, pid, handle)
+}
+
+/// The dumped stackXXXXX file is the full guest state (registers,
+/// stack, credentials, signal dispositions) at the dump point — it must
+/// not depend on which interpreter path produced it.
+#[test]
+fn dump_files_identical_with_icache_on_and_off() {
+    let mut images = Vec::new();
+    for use_icache in [true, false] {
+        let (mut w, brick, _schooner, pid, _handle) = boot_and_prompt(config(use_icache), 3);
+        let status = api::run_dumpproc(&mut w, brick, pid, alice()).expect("dumpproc runs");
+        assert_eq!(status, 0);
+        let names = dumpfmt::dump_file_names(pid);
+        let stack = w.host_read_file(brick, &names.stack).unwrap();
+        let aout = w.host_read_file(brick, &names.a_out).unwrap();
+        let files = w.host_read_file(brick, &names.files).unwrap();
+        let clock = w.machine(brick).now;
+        images.push((stack, aout, files, clock));
+    }
+    let (a, b) = (&images[0], &images[1]);
+    assert_eq!(a.0, b.0, "stack file diverges between cached and uncached");
+    assert_eq!(a.1, b.1, "a.out file diverges between cached and uncached");
+    assert_eq!(a.2, b.2, "files file diverges between cached and uncached");
+    assert_eq!(a.3, b.3, "simulated clock diverges between cached and uncached");
+}
+
+/// The acceptance run: dump → migrate → restore, once with the cache
+/// and once without, comparing the restored process's registers and
+/// whole memory image mid-run, then the final output and accounting.
+#[test]
+fn migration_restores_identical_guest_state_with_icache_on_and_off() {
+    let mut ends = Vec::new();
+    for use_icache in [true, false] {
+        let (mut w, brick, schooner, pid, _handle) = boot_and_prompt(config(use_icache), 3);
+        let status = api::run_dumpproc(&mut w, brick, pid, alice()).expect("dumpproc runs");
+        assert_eq!(status, 0);
+        let (tty2, handle2) = w.add_terminal(schooner);
+        let new_pid = api::run_restart(
+            &mut w,
+            schooner,
+            RestartArgs {
+                pid,
+                dump_host: Some("brick".into()),
+            },
+            Some(tty2),
+            alice(),
+        )
+        .expect("restart succeeds");
+        w.run_slices(50_000);
+        // Mid-run snapshot of the restored body: registers + memory.
+        let (cpu, text, data, stack) = {
+            let p = w.proc_ref(schooner, new_pid).expect("restored process");
+            let Body::Vm(vm) = &p.body else {
+                panic!("restored body is not a VM")
+            };
+            assert_eq!(
+                vm.icache.is_some(),
+                use_icache,
+                "cache presence must follow the kernel configuration"
+            );
+            (
+                vm.cpu.clone(),
+                vm.mem.text().to_vec(),
+                vm.mem.data().to_vec(),
+                vm.mem.stack_from(vm.cpu.a[7]).unwrap_or(&[]).to_vec(),
+            )
+        };
+        handle2.type_input("line 3\n");
+        w.run_slices(50_000);
+        handle2.with(|t| t.close());
+        let info = w.run_until_exit(schooner, new_pid, 100_000).expect("exits");
+        let out = w.host_read_file(brick, "/tmp/testout").unwrap();
+        ends.push((cpu, text, data, stack, info, out, handle2.output_text()));
+    }
+    let (a, b) = (&ends[0], &ends[1]);
+    assert_eq!(a.0, b.0, "restored registers diverge");
+    assert_eq!(a.1, b.1, "restored text diverges");
+    assert_eq!(a.2, b.2, "restored data diverges");
+    assert_eq!(a.3, b.3, "restored stack diverges");
+    assert_eq!(a.4, b.4, "exit accounting diverges (simtime invariant)");
+    assert_eq!(a.5, b.5, "output file diverges");
+    assert_eq!(a.6, b.6, "terminal transcript diverges");
+}
+
+/// A SIGDUMP-interrupted run restored on a fresh machine (whose
+/// rest_proc builds a brand-new icache for the restored text) must be
+/// indistinguishable from the same program running uninterrupted.
+#[test]
+fn interrupted_and_restored_run_matches_uninterrupted_run() {
+    // Uninterrupted: three lines straight through on brick.
+    let (mut w_a, brick_a, _schooner_a, pid_a, handle_a) = boot_and_prompt(config(true), 3);
+    handle_a.type_input("line 3\n");
+    w_a.run_slices(20_000);
+    handle_a.with(|t| t.close());
+    let info_a = w_a.run_until_exit(brick_a, pid_a, 100_000).expect("exits");
+    let out_a = w_a.host_read_file(brick_a, "/tmp/testout").unwrap();
+
+    // Interrupted after two lines, restored on schooner, then the same
+    // third line.
+    let (mut w_b, brick_b, schooner_b, pid_b, _handle_b) = boot_and_prompt(config(true), 3);
+    let status = api::run_dumpproc(&mut w_b, brick_b, pid_b, alice()).expect("dumpproc runs");
+    assert_eq!(status, 0);
+    let (tty2, handle2) = w_b.add_terminal(schooner_b);
+    let new_pid = api::run_restart(
+        &mut w_b,
+        schooner_b,
+        RestartArgs {
+            pid: pid_b,
+            dump_host: Some("brick".into()),
+        },
+        Some(tty2),
+        alice(),
+    )
+    .expect("restart succeeds");
+    w_b.run_slices(50_000);
+    handle2.type_input("line 3\n");
+    w_b.run_slices(50_000);
+    handle2.with(|t| t.close());
+    let info_b = w_b
+        .run_until_exit(schooner_b, new_pid, 100_000)
+        .expect("exits");
+
+    // The program's observable work is identical: same bytes written,
+    // same exit status, same counters echoed after the third line.
+    let out_b = w_b.host_read_file(brick_b, "/tmp/testout").unwrap();
+    assert_eq!(out_a, out_b, "the output file must not see the migration");
+    assert_eq!(info_a.status, info_b.status);
+    assert!(handle_a.output_text().contains("R3 S3 K3"));
+    assert!(handle2.output_text().contains("R4 S4 K4"));
+}
+
+/// Code executing from the *data* segment is invisible to the icache
+/// (its slots cover text only) and runs through the live byte-window
+/// decoder. A hand-built image whose text calls a data-resident
+/// subroutine must behave identically under both kernels.
+#[test]
+fn data_segment_code_runs_via_fallback_decoder() {
+    use Operand::{Abs, DReg, Imm, None as NoOp};
+    // Two-pass: the text's jsr target depends only on the page-aligned
+    // data base, which is stable for any text under one page.
+    let data_base = MemoryLayout::data_base(0x20);
+    let text_code = [
+        Instr::new(Op::Jsr, Size::Long, NoOp, Abs(data_base)),
+        Instr::new(Op::Move, Size::Long, DReg(3), DReg(1)),
+        Instr::new(Op::Move, Size::Long, Imm(1), DReg(0)), // exit(d1)
+        Instr::new(Op::Trap, Size::Long, Imm(0), NoOp),
+    ];
+    let data_code = [
+        Instr::new(Op::Add, Size::Long, Imm(5), DReg(3)),
+        Instr::new(Op::Add, Size::Long, Imm(37), DReg(3)),
+        Instr::new(Op::Rts, Size::Long, NoOp, NoOp),
+    ];
+    let obj = m68vm::Object {
+        text: m68vm::encode::encode_all(&text_code),
+        data: m68vm::encode::encode_all(&data_code),
+        bss_len: 0,
+        entry: MemoryLayout::TEXT_BASE,
+        symbols: Default::default(),
+        required_isa: IsaLevel::Isa1,
+    };
+    assert!(obj.text.len() as u32 <= 0x20);
+
+    let mut statuses = Vec::new();
+    for use_icache in [true, false] {
+        let mut w = World::new(config(use_icache));
+        let brick = w.add_machine("brick", IsaLevel::Isa1);
+        w.install_program(brick, "/bin/dataprog", &obj).unwrap();
+        let pid = w.spawn_vm_proc(brick, "/bin/dataprog", None, alice()).unwrap();
+        let info = w.run_until_exit(brick, pid, 50_000).expect("exits");
+        statuses.push(info);
+    }
+    assert_eq!(statuses[0].status, 42, "5 + 37 accumulated in d3");
+    assert_eq!(statuses[0], statuses[1], "fallback path diverges from uncached");
+}

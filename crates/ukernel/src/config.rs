@@ -26,6 +26,13 @@ pub struct KernelConfig {
     /// wasting large amounts of kernel memory". The memory effect shows
     /// up in [`crate::machine::Machine::name_bytes_peak`].
     pub fixed_name_strings: bool,
+    /// Host-side optimisation: predecode a process's text segment into
+    /// an instruction cache at overlay time and interpret through it.
+    /// Simulated time is unaffected (the cached path charges the same
+    /// per-instruction units); turning this off forces the byte-window
+    /// decoder on every step, which the coherence tests use to prove
+    /// both paths are bit-identical.
+    pub use_icache: bool,
     /// The hardware/kernel cost calibration.
     pub cost: CostModel,
 }
@@ -37,6 +44,7 @@ impl KernelConfig {
             track_names: true,
             virtualize_ids: false,
             fixed_name_strings: false,
+            use_icache: true,
             cost: CostModel::sun2(),
         }
     }
@@ -71,6 +79,7 @@ mod tests {
     #[test]
     fn presets() {
         assert!(KernelConfig::paper().track_names);
+        assert!(KernelConfig::paper().use_icache);
         assert!(!KernelConfig::original().track_names);
         assert!(KernelConfig::with_virtualized_ids().virtualize_ids);
         assert!(KernelConfig::default().track_names);

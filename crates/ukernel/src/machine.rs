@@ -1,6 +1,7 @@
 //! One workstation: filesystem, process table, open-file table, clock.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 
 use m68vm::IsaLevel;
 use simtime::cost::Cost;
@@ -114,6 +115,13 @@ pub struct Machine {
     /// User-level time the last `rest_proc` caller had consumed before
     /// entering the call (the `restart` application's own share).
     pub last_rest_caller: Option<CallTiming>,
+    /// Pending sleep/alarm deadlines as a min-heap of `(when, pid)`.
+    /// Entries are never removed eagerly — a wake, an `alarm(0)` reset
+    /// or an exit just leaves a stale entry behind, which
+    /// [`Machine::next_deadline`] discards when it surfaces (lazy
+    /// deletion). This replaces a full process-table scan on every
+    /// idle-clock jump.
+    timers: BinaryHeap<Reverse<(SimTime, u32)>>,
     /// The inode of `/n`, where remote mounts attach.
     pub n_dir: Ino,
     /// The inode of `/dev`.
@@ -171,6 +179,7 @@ impl Machine {
             last_execve: None,
             last_rest_proc: None,
             last_rest_caller: None,
+            timers: BinaryHeap::new(),
             n_dir,
             dev_dir,
             next_pid: 2, // 1 is init.
@@ -215,6 +224,29 @@ impl Machine {
         if let Some(p) = self.proc_mut(pid) {
             p.utime += cpu;
         }
+    }
+
+    /// Records a timer deadline for `pid` (a `sleep` wake-up or an
+    /// `alarm` expiry). Superseded deadlines need no cancellation: they
+    /// become stale heap entries that [`Machine::next_deadline`] skips.
+    pub fn push_timer(&mut self, pid: Pid, when: SimTime) {
+        self.timers.push(Reverse((when, pid.as_u32())));
+    }
+
+    /// The earliest live timer (sleep or alarm) deadline, popping stale
+    /// entries off the heap as they surface.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, pid))) = self.timers.peek() {
+            let live = self.procs.get(&pid).is_some_and(|p| {
+                matches!(p.state, crate::proc::ProcState::Sleeping { until } if until == t)
+                    || p.alarm_at == Some(t)
+            });
+            if live {
+                return Some(t);
+            }
+            self.timers.pop();
+        }
+        None
     }
 
     /// Marks a path's inodes as cached, returning whether it was cold.

@@ -100,12 +100,23 @@ fn overlay(w: &mut World, mid: MachineId, pid: Pid, image: &[u8], comm: &str) ->
     }
     let c = w.config.cost.exec_base();
     w.charge(mid, pid, c);
+    // Text is write-protected, so decode it once here — at the only
+    // place a VM body is born — rather than on every interpreted step.
+    // The cache is keyed to the hosting machine's ISA level (the level
+    // the live decoder would enforce), not the executable's requirement.
+    let icache = if w.config.use_icache {
+        let level = w.machine(mid).isa;
+        Some(std::sync::Arc::new(m68vm::ICache::build(mem.text(), level)))
+    } else {
+        None
+    };
     let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
     p.body = Body::Vm(VmBody {
         cpu,
         mem,
         isa_required,
         entry: exe.header.a_entry,
+        icache,
     });
     p.pending_syscall = None;
     p.restart_pc = None;

@@ -269,6 +269,9 @@ pub fn sys_alarm(w: &mut World, mid: MachineId, pid: Pid, secs: u32) -> SyscallR
         } else {
             Some(now + SimDuration::secs(secs as u64))
         };
+        if let Some(t) = p.alarm_at {
+            w.machine_mut(mid).push_timer(pid, t);
+        }
         Ok(SysRetval::ok(remaining))
     })())
 }
@@ -324,6 +327,7 @@ pub fn sys_sleep(w: &mut World, mid: MachineId, pid: Pid, micros: u64) -> Syscal
     let until = w.machine(mid).now + SimDuration::micros(micros);
     if let Some(p) = w.proc_mut(mid, pid) {
         p.state = ProcState::Sleeping { until };
+        w.machine_mut(mid).push_timer(pid, until);
     }
     let c = Cost::cpu_us(100); // Timer setup.
     w.charge(mid, pid, c);

@@ -725,19 +725,11 @@ impl World {
         }
     }
 
-    /// The earliest timer (sleep or alarm) on a machine.
-    fn earliest_deadline(&self, mid: MachineId) -> Option<SimTime> {
-        self.machines[mid]
-            .procs
-            .values()
-            .flat_map(|p| {
-                let sleep = match p.state {
-                    ProcState::Sleeping { until } => Some(until),
-                    _ => None,
-                };
-                [sleep, p.alarm_at].into_iter().flatten()
-            })
-            .min()
+    /// The earliest timer (sleep or alarm) on a machine, served from
+    /// the machine's lazy-deletion deadline heap instead of a full
+    /// process-table scan.
+    fn earliest_deadline(&mut self, mid: MachineId) -> Option<SimTime> {
+        self.machines[mid].next_deadline()
     }
 
     /// Runs one scheduling action on a machine. Returns false if the
@@ -816,99 +808,173 @@ impl World {
         true
     }
 
+    /// Puts a VM body taken by [`World::run_vm_quantum`] back into its
+    /// process-table slot. The slot may legitimately be occupied again
+    /// (a syscall dispatched mid-quantum exited the process, leaving
+    /// `Body::Idle` on a zombie): the taken body is stale then and is
+    /// simply dropped.
+    fn return_vm_body(&mut self, mid: MachineId, pid: Pid, vm: crate::proc::VmBody) {
+        if let Some(p) = self.machines[mid].proc_mut(pid) {
+            if matches!(p.state, ProcState::Zombie { .. }) {
+                return;
+            }
+            p.body = Body::Vm(vm);
+        }
+    }
+
     /// Interprets VM instructions for up to one quantum.
+    ///
+    /// The body is moved out of the process table for the duration of
+    /// the quantum so the interpreter's inner loop touches nothing but
+    /// the CPU, the memory image and (when built) the predecoded
+    /// instruction cache — no per-step process lookup, no per-step
+    /// signal poll. The process table is re-entered only at trap,
+    /// fault and signal-check boundaries. Nothing else runs while a
+    /// quantum is in progress, so a signal can only appear through a
+    /// syscall dispatched *from this loop*; the periodic check exists
+    /// for the pathological case of a quantum set far larger than the
+    /// default and costs one process lookup per `SIG_CHECK_UNITS`.
     fn run_vm_quantum(&mut self, mid: MachineId, pid: Pid) {
+        /// Cost units interpreted between signal-flag polls.
+        const SIG_CHECK_UNITS: u64 = 4_096;
+
         let isa = self.machines[mid].isa;
         let quantum_units = self.config.cost.quantum_us / self.config.cost.instr_us.max(1);
         let mut spent: u64 = 0;
-        loop {
-            // Stop early if a signal arrived mid-quantum.
-            if self
-                .proc_ref(mid, pid)
-                .map(|p| p.signal_pending())
-                .unwrap_or(true)
-            {
-                break;
-            }
-            let step = {
-                let Some(p) = self.proc_mut(mid, pid) else {
+
+        enum Pause {
+            Quantum,
+            SignalCheck,
+            Event(StepEvent),
+        }
+
+        'quantum: loop {
+            // Take the body (checking liveness and pending signals
+            // exactly where the per-step loop used to).
+            let mut vm = {
+                let Some(p) = self.machines[mid].proc_mut(pid) else {
                     break;
                 };
-                let Body::Vm(vm) = &mut p.body else { break };
-                vm.cpu.step(&mut vm.mem, isa)
-            };
-            match step {
-                StepEvent::Executed { units } => {
-                    spent += units as u64;
-                    if spent >= quantum_units {
+                if p.signal_pending() {
+                    break;
+                }
+                match std::mem::replace(&mut p.body, Body::Idle) {
+                    Body::Vm(vm) => vm,
+                    other => {
+                        p.body = other;
                         break;
                     }
                 }
-                StepEvent::Trap { vector: 0, units } => {
-                    spent += units as u64;
-                    // Decode, dispatch, write back.
-                    let decoded = {
-                        let Some(p) = self.proc_ref(mid, pid) else {
-                            break;
-                        };
-                        let Body::Vm(vm) = &p.body else { break };
-                        vmabi::decode_trap(&vm.cpu, &vm.mem)
+            };
+            // Borrow-free inner loop.
+            loop {
+                let checkpoint = spent.saturating_add(SIG_CHECK_UNITS);
+                let pause = loop {
+                    let ev = match &vm.icache {
+                        Some(ic) => vm.cpu.step_cached(&mut vm.mem, ic),
+                        None => vm.cpu.step(&mut vm.mem, isa),
                     };
-                    match decoded {
-                        Err(e) => {
-                            if let Some(p) = self.proc_mut(mid, pid) {
-                                if let Body::Vm(vm) = &mut p.body {
-                                    vmabi::write_errno(&mut vm.cpu, e);
-                                }
+                    match ev {
+                        StepEvent::Executed { units } => {
+                            spent += units as u64;
+                            if spent >= quantum_units {
+                                break Pause::Quantum;
+                            }
+                            if spent >= checkpoint {
+                                break Pause::SignalCheck;
                             }
                         }
-                        Ok(sc) => match do_syscall(self, mid, pid, &sc) {
-                            SyscallResult::Done(ret) => {
+                        other => break Pause::Event(other),
+                    }
+                };
+                match pause {
+                    Pause::Quantum => {
+                        self.return_vm_body(mid, pid, vm);
+                        break 'quantum;
+                    }
+                    Pause::SignalCheck => {
+                        let pending = self
+                            .proc_ref(mid, pid)
+                            .map(|p| p.signal_pending())
+                            .unwrap_or(true);
+                        if pending {
+                            self.return_vm_body(mid, pid, vm);
+                            break 'quantum;
+                        }
+                        continue; // Same body, fresh checkpoint.
+                    }
+                    Pause::Event(StepEvent::Trap { vector: 0, units }) => {
+                        spent += units as u64;
+                        // Decode against the taken body, then put it
+                        // back: the syscall handlers (and their
+                        // writeback) expect `Body::Vm` in the table.
+                        let decoded = vmabi::decode_trap(&vm.cpu, &vm.mem);
+                        self.return_vm_body(mid, pid, vm);
+                        match decoded {
+                            Err(e) => {
                                 if let Some(p) = self.proc_mut(mid, pid) {
                                     if let Body::Vm(vm) = &mut p.body {
-                                        vmabi::writeback(&mut vm.cpu, &mut vm.mem, &sc, &ret);
+                                        vmabi::write_errno(&mut vm.cpu, e);
                                     }
                                 }
                             }
-                            SyscallResult::Blocked => {
-                                if let Some(p) = self.proc_mut(mid, pid) {
-                                    p.pending_syscall = Some(sc);
-                                    if let Body::Vm(vm) = &p.body {
-                                        p.restart_pc =
-                                            Some(vm.cpu.pc.wrapping_sub(vmabi::TRAP_LEN));
+                            Ok(sc) => match do_syscall(self, mid, pid, &sc) {
+                                SyscallResult::Done(ret) => {
+                                    if let Some(p) = self.proc_mut(mid, pid) {
+                                        if let Body::Vm(vm) = &mut p.body {
+                                            vmabi::writeback(&mut vm.cpu, &mut vm.mem, &sc, &ret);
+                                        }
                                     }
                                 }
-                                break;
-                            }
-                            SyscallResult::Gone => break,
-                        },
-                    }
-                    if spent >= quantum_units {
-                        break;
-                    }
-                }
-                StepEvent::Trap { units, .. } => {
-                    // Unknown trap vector: SIGSYS.
-                    spent += units as u64;
-                    if let Some(p) = self.proc_mut(mid, pid) {
-                        p.post_signal(Signal::SIGSYS);
-                    }
-                    break;
-                }
-                StepEvent::Faulted(f) => {
-                    let sig = match f {
-                        m68vm::Fault::Unmapped { .. } | m68vm::Fault::StackOverflow { .. } => {
-                            Signal::SIGSEGV
+                                SyscallResult::Blocked => {
+                                    if let Some(p) = self.proc_mut(mid, pid) {
+                                        p.pending_syscall = Some(sc);
+                                        if let Body::Vm(vm) = &p.body {
+                                            p.restart_pc =
+                                                Some(vm.cpu.pc.wrapping_sub(vmabi::TRAP_LEN));
+                                        }
+                                    }
+                                    break 'quantum;
+                                }
+                                SyscallResult::Gone => break 'quantum,
+                            },
                         }
-                        m68vm::Fault::WriteToText { .. } => Signal::SIGBUS,
-                        m68vm::Fault::IllegalInstruction { .. }
-                        | m68vm::Fault::IsaViolation { .. } => Signal::SIGILL,
-                        m68vm::Fault::DivZero { .. } => Signal::SIGFPE,
-                    };
-                    if let Some(p) = self.proc_mut(mid, pid) {
-                        p.post_signal(sig);
+                        if spent >= quantum_units {
+                            break 'quantum;
+                        }
+                        // Re-take the (possibly replaced) body at the
+                        // top of the outer loop, which also re-checks
+                        // signals the syscall may have posted.
+                        continue 'quantum;
                     }
-                    break;
+                    Pause::Event(StepEvent::Trap { units, .. }) => {
+                        // Unknown trap vector: SIGSYS.
+                        spent += units as u64;
+                        self.return_vm_body(mid, pid, vm);
+                        if let Some(p) = self.proc_mut(mid, pid) {
+                            p.post_signal(Signal::SIGSYS);
+                        }
+                        break 'quantum;
+                    }
+                    Pause::Event(StepEvent::Faulted(f)) => {
+                        let sig = match f {
+                            m68vm::Fault::Unmapped { .. } | m68vm::Fault::StackOverflow { .. } => {
+                                Signal::SIGSEGV
+                            }
+                            m68vm::Fault::WriteToText { .. } => Signal::SIGBUS,
+                            m68vm::Fault::IllegalInstruction { .. }
+                            | m68vm::Fault::IsaViolation { .. } => Signal::SIGILL,
+                            m68vm::Fault::DivZero { .. } => Signal::SIGFPE,
+                        };
+                        self.return_vm_body(mid, pid, vm);
+                        if let Some(p) = self.proc_mut(mid, pid) {
+                            p.post_signal(sig);
+                        }
+                        break 'quantum;
+                    }
+                    Pause::Event(StepEvent::Executed { .. }) => {
+                        unreachable!("Executed is handled in the inner loop")
+                    }
                 }
             }
         }
@@ -1085,10 +1151,10 @@ impl World {
         let mut best: Option<(MachineId, SimTime)> = None;
         for mid in 0..self.machines.len() {
             self.wake_scan(mid);
-            let m = &self.machines[mid];
-            let has_work = !m.run_queue.is_empty() || self.earliest_deadline(mid).is_some();
+            let has_work = !self.machines[mid].run_queue.is_empty()
+                || self.earliest_deadline(mid).is_some();
             if has_work {
-                let now = m.now;
+                let now = self.machines[mid].now;
                 if best.map(|(_, t)| now < t).unwrap_or(true) {
                     best = Some((mid, now));
                 }
@@ -1137,13 +1203,14 @@ impl World {
             let mut best: Option<(MachineId, SimTime)> = None;
             for mid in 0..self.machines.len() {
                 self.wake_scan(mid);
-                let m = &self.machines[mid];
-                if m.now >= deadline {
+                let now = self.machines[mid].now;
+                if now >= deadline {
                     continue;
                 }
-                let has_work = !m.run_queue.is_empty() || self.earliest_deadline(mid).is_some();
-                if has_work && best.map(|(_, t)| m.now < t).unwrap_or(true) {
-                    best = Some((mid, m.now));
+                let has_work = !self.machines[mid].run_queue.is_empty()
+                    || self.earliest_deadline(mid).is_some();
+                if has_work && best.map(|(_, t)| now < t).unwrap_or(true) {
+                    best = Some((mid, now));
                 }
             }
             match best {

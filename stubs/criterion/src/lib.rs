@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements a real wall-clock measuring harness behind criterion's
+//! API shape: `Criterion`, `benchmark_group` (with `sample_size`,
+//! `throughput`, `bench_function`, `finish`), `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. `cargo bench -- --test`
+//! runs every benchmark body once as a smoke check, like criterion's
+//! test mode. Results print as mean ns/iter plus derived element
+//! throughput when a `Throughput` was declared.
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Entry point object handed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+    measure_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        // CRITERION_MEASURE_MS trades precision for run time (default 300).
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            test_mode,
+            measure_ms,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.test_mode, self.measure_ms, name, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(self.c.test_mode, self.c.measure_ms, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    measure_ms: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // One warm-up iteration outside the timed region.
+        std::hint::black_box(f());
+        let budget = Duration::from_millis(self.measure_ms);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_bench<F>(test_mode: bool, measure_ms: u64, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        test_mode,
+        measure_ms,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok");
+        return;
+    }
+    if b.iters == 0 {
+        println!("{name}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!("{name}: {ns_per_iter:.0} ns/iter ({per_sec:.0} elem/s, {} iters)", b.iters);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!("{name}: {ns_per_iter:.0} ns/iter ({per_sec:.0} B/s, {} iters)", b.iters);
+        }
+        None => println!("{name}: {ns_per_iter:.0} ns/iter ({} iters)", b.iters),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            test_mode: false,
+            measure_ms: 1,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters >= 1);
+        // warm-up iteration runs once more than the timed count
+        assert_eq!(n, b.iters + 1);
+    }
+}

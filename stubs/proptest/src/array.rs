@@ -1,0 +1,33 @@
+//! `proptest::array::uniform18` (the only arity this workspace uses).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Uniform18<S>(S);
+
+/// Strategy for `[S::Value; 18]` with every element drawn from `s`.
+pub fn uniform18<S: Strategy>(s: S) -> Uniform18<S> {
+    Uniform18(s)
+}
+
+impl<S: Strategy> Strategy for Uniform18<S> {
+    type Value = [S::Value; 18];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform18;
+    use crate::strategy::{any, Strategy};
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn fills_all_slots() {
+        let mut rng = TestRng::new(18);
+        let arr: [u32; 18] = uniform18(any::<u32>()).generate(&mut rng);
+        assert_eq!(arr.len(), 18);
+        assert!(arr.iter().any(|&v| v != arr[0]), "all 18 draws identical");
+    }
+}
