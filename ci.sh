@@ -10,4 +10,8 @@ set -eux
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+# Workspace invariant checker: determinism, simtime charging, errno
+# vocabulary, magic literals. Exemptions live in simlint.toml; a
+# nonzero exit means a new violation (or a stale exemption config).
+cargo run -p simlint --release
 cargo bench -p bench --bench simulator -- --test

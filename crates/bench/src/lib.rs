@@ -7,6 +7,7 @@
 //! binary prints them (and JSON for EXPERIMENTS.md); the criterion
 //! benches re-run them under the host-time profiler.
 
+pub mod hostclock;
 pub mod json;
 pub mod scenarios;
 

@@ -1,0 +1,48 @@
+//! Diagnostics: what a rule reports and how it prints.
+
+use core::fmt;
+
+/// One finding: a contract violation at a `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (`crates/ukernel/src/machine.rs`).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable rule identifier (`determinism`, `simtime-charging`, ...).
+    pub rule: &'static str,
+    /// The offending identifier or literal, used for allowlist scoping.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/ukernel/src/machine.rs".into(),
+            line: 105,
+            rule: "determinism",
+            subject: "HashSet".into(),
+            message: "HashSet iterates in arbitrary order".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/ukernel/src/machine.rs:105: [determinism] HashSet iterates in arbitrary order"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! A small Rust lexer: just enough tokens for the invariant rules.
+//!
+//! The lexer intentionally models a *subset* of the language: it
+//! distinguishes identifiers, integer/float/string/char literals,
+//! lifetimes and punctuation, and it skips comments and whitespace while
+//! tracking line numbers. That is all the rules need — they reason about
+//! identifier and literal tokens, never full expressions — and it keeps
+//! the pass dependency-free (no `syn`, per the offline vendored-stub
+//! policy).
+
+/// What kind of token this is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `charge`, ...).
+    Ident,
+    /// An integer literal; `value` holds the parsed magnitude when the
+    /// literal fits in a `u128` (underscores and base prefixes handled).
+    Int {
+        /// Parsed value, if representable.
+        value: Option<u128>,
+    },
+    /// A float literal (`1.5`, `2e3`).
+    Float,
+    /// A string or byte-string literal (contents not retained).
+    Str,
+    /// A character literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation. Multi-character operators are emitted one character
+    /// at a time except `::`, which the path-aware rules need whole.
+    Punct,
+}
+
+/// One token with its source text and 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// The parsed value of an integer literal, if any.
+    pub fn int_value(&self) -> Option<u128> {
+        match self.kind {
+            TokKind::Int { value } => value,
+            _ => None,
+        }
+    }
+}
+
+/// Lexes `src`, skipping comments and whitespace.
+///
+/// Unterminated constructs (a string running off the end of the file)
+/// terminate the token stream early rather than erroring: the linter
+/// runs on code that `rustc` has already accepted, so malformed input
+/// only ever comes from fixture snippets in tests.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+/// Is `text` an exponent-form float like `1e3` or `2E-5`? Suffixed
+/// integers (`27usize`) contain an `e` too, so the digits-exponent-digits
+/// shape must be checked, not just the letter.
+fn has_exponent(text: &str) -> bool {
+    let Some(split) = text.find(['e', 'E']) else {
+        return false;
+    };
+    let (mantissa, exp) = text.split_at(split);
+    let exp = &exp[1..];
+    let exp = exp.strip_prefix(['+', '-']).unwrap_or(exp);
+    !mantissa.is_empty()
+        && mantissa.chars().all(|c| c.is_ascii_digit() || c == '_')
+        && !exp.is_empty()
+        && exp.chars().all(|c| c.is_ascii_digit() || c == '_')
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        // `src` is kept only so fixture snippets show up in panics.
+        debug_assert!(self.src.len() >= self.chars.len());
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => self.lex_string(),
+                'r' | 'b' if self.starts_raw_or_byte_string() => self.lex_string(),
+                '\'' => self.lex_quote(),
+                _ if c.is_ascii_digit() => self.lex_number(),
+                _ if c.is_alphanumeric() || c == '_' => self.lex_ident(),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".into(), line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Does the stream start with `r"`, `r#`, `b"`, `br"` or `br#`?
+    fn starts_raw_or_byte_string(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) == Some('r') {
+            i += 1;
+            matches!(self.peek(i), Some('"') | Some('#'))
+        } else {
+            // `b"..."` only: a bare identifier starting with b/r falls
+            // through to `lex_ident` via the caller's guard.
+            i == 1 && self.peek(i) == Some('"')
+        }
+    }
+
+    fn lex_string(&mut self) {
+        let line = self.line;
+        // Optional b, optional r, optional #s.
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        let raw = self.peek(0) == Some('r');
+        if raw {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // Not actually a string (e.g. `r#foo` raw identifier): emit
+            // what we consumed as punctuation and continue.
+            self.push(TokKind::Punct, "#".repeat(hashes), line);
+            return;
+        }
+        self.bump(); // Opening quote.
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') if !raw => {
+                    self.bump();
+                }
+                Some('"') => {
+                    if !raw || hashes == 0 {
+                        break;
+                    }
+                    // Need `"` followed by `hashes` `#`s to close.
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// A `'` starts either a char literal or a lifetime.
+    fn lex_quote(&mut self) {
+        let line = self.line;
+        self.bump(); // The quote.
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump(); // The escaped character (enough for \n, \', \\ ...).
+                while let Some(c) = self.peek(0) {
+                    // Covers \u{...} and \x7f tails.
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                // `'a'` is a char literal; `'a` (no closing quote right
+                // after one ident) is a lifetime.
+                let mut ident = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokKind::Char, ident, line);
+                } else {
+                    self.push(TokKind::Lifetime, format!("'{ident}"), line);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            None => {}
+        }
+    }
+
+    fn lex_number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let radix = match (self.peek(0), self.peek(1)) {
+            (Some('0'), Some('x')) | (Some('0'), Some('X')) => 16,
+            (Some('0'), Some('o')) | (Some('0'), Some('O')) => 8,
+            (Some('0'), Some('b')) | (Some('0'), Some('B')) => 2,
+            _ => 10,
+        };
+        if radix != 10 {
+            text.push(self.bump().unwrap());
+            text.push(self.bump().unwrap());
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && radix == 10 && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` is a float; `1..5` is a range and stops here.
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float || (radix == 10 && has_exponent(&text)) {
+            self.push(TokKind::Float, text, line);
+            return;
+        }
+        let digits: String = text
+            .trim_start_matches("0x")
+            .trim_start_matches("0X")
+            .trim_start_matches("0o")
+            .trim_start_matches("0O")
+            .trim_start_matches("0b")
+            .trim_start_matches("0B")
+            .chars()
+            .filter(|c| *c != '_')
+            .take_while(|c| c.is_digit(radix))
+            .collect();
+        let value = u128::from_str_radix(&digits, radix).ok();
+        self.push(TokKind::Int { value }, text, line);
+    }
+
+    fn lex_ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_paths_and_lines() {
+        let toks = lex("use std::collections::HashMap;\nfn main() {}\n");
+        let hm = toks.iter().find(|t| t.is_ident("HashMap")).unwrap();
+        assert_eq!(hm.line, 1);
+        let main = toks.iter().find(|t| t.is_ident("main")).unwrap();
+        assert_eq!(main.line, 2);
+        assert!(toks.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" string"#;
+            let b = b"HashMap bytes";
+        "##;
+        assert!(!idents(src).iter().any(|i| i == "HashMap"));
+        assert!(idents(src).iter().any(|i| i == "let"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2,
+            "two char literals"
+        );
+    }
+
+    #[test]
+    fn integer_literal_values_across_bases() {
+        let toks = lex("let a = 0o444; let b = 292; let c = 0x124; let d = 293u16;");
+        let vals: Vec<u128> = toks.iter().filter_map(|t| t.int_value()).collect();
+        assert_eq!(vals, vec![292, 292, 292, 293]);
+    }
+
+    #[test]
+    fn suffixed_integers_are_not_floats() {
+        let toks = lex("let n = 27usize; let f = 1e3;");
+        assert_eq!(toks.iter().filter_map(|t| t.int_value()).next(), Some(27));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Float).count(), 1);
+    }
+
+    #[test]
+    fn floats_and_ranges() {
+        let toks = lex("let x = 1.5; for i in 0..10 {}");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Float));
+        let ints: Vec<u128> = toks.iter().filter_map(|t| t.int_value()).collect();
+        assert_eq!(ints, vec![0, 10]);
+    }
+}

@@ -1,0 +1,83 @@
+//! The `simlint` binary: lint the workspace, print `file:line`
+//! diagnostics, exit nonzero on any unallowlisted violation.
+//!
+//! Usage: `cargo run -p simlint --release [-- --root <dir>]`. With no
+//! `--root` the current directory is used (ci.sh runs from the
+//! workspace root).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{lint_workspace, Config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("simlint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: simlint [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = match std::fs::read_to_string(root.join("simlint.toml")) {
+        Ok(text) => match Config::parse(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // No allowlist is fine: everything is then a hard violation.
+        Err(_) => Config::default(),
+    };
+
+    let filtered = match lint_workspace(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &filtered.kept {
+        println!("{d}");
+    }
+    // A stale entry is itself a failure: an exemption that matches
+    // nothing is either obsolete (delete it) or mis-scoped (in which
+    // case it is silently *not* covering what its author thought).
+    for a in &filtered.stale {
+        eprintln!(
+            "simlint: stale simlint.toml entry (line {}): rule {} in {} matched nothing",
+            a.line, a.rule, a.path
+        );
+    }
+    if filtered.kept.is_empty() && filtered.stale.is_empty() {
+        eprintln!(
+            "simlint: clean ({} exemption{} applied)",
+            filtered.silenced.len(),
+            if filtered.silenced.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simlint: {} violation(s), {} stale exemption(s)",
+            filtered.kept.len(),
+            filtered.stale.len()
+        );
+        ExitCode::FAILURE
+    }
+}

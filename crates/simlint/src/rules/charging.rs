@@ -1,0 +1,167 @@
+//! Rule `simtime-charging`: no syscall handler runs for free.
+//!
+//! The paper's figures are simulated-time measurements, so a handler
+//! that mutates kernel state without charging simulated time silently
+//! deflates every number downstream. This rule checks that each
+//! `sys_*` handler in the kernel can reach a cost-model charge —
+//! `World::charge`, `World::charge_rpc`, `Machine::charge_sys` or
+//! `Machine::charge_user` — through the kernel's own call graph.
+//!
+//! The analysis is a may-reach fixpoint over function names: a function
+//! charges if its body calls a charge sink directly, or calls (by name)
+//! any kernel function that charges. Matching by bare name
+//! over-approximates (two kernel functions sharing a name merge), which
+//! can only produce false negatives for *other* functions, never false
+//! positives — a flagged handler genuinely has no charging call
+//! anywhere in its reachable name set. The dispatcher's per-trap charge
+//! in `do_syscall` is deliberately not credited to handlers: the trap
+//! prices kernel entry/exit, not the handler's own work.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::visitor::{calls_in, fn_items};
+use crate::workspace::{Role, SourceFile};
+
+/// Rule id.
+pub const RULE: &str = "simtime-charging";
+
+/// Calls that charge simulated time.
+const SINKS: [&str; 4] = ["charge", "charge_sys", "charge_user", "charge_rpc"];
+
+/// Runs the rule over the workspace.
+pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
+    struct FnInfo {
+        file: String,
+        line: u32,
+        calls: BTreeSet<String>,
+        direct_charge: bool,
+    }
+
+    // Collect every function in the kernel crate's shipped sources.
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for f in files {
+        if f.crate_name != "ukernel" || f.role != Role::Src {
+            continue;
+        }
+        for item in fn_items(&f.toks) {
+            let calls: BTreeSet<String> = calls_in(&f.toks, item.body_start, item.body_end)
+                .into_iter()
+                .map(|c| c.name)
+                .collect();
+            let direct_charge = calls.iter().any(|c| SINKS.contains(&c.as_str()));
+            by_name.entry(item.name.clone()).or_default().push(fns.len());
+            fns.push(FnInfo {
+                file: f.rel_path.clone(),
+                line: item.line,
+                calls,
+                direct_charge,
+            });
+        }
+    }
+
+    // Fixpoint: propagate "charges" backwards along call edges.
+    let mut charges: Vec<bool> = fns.iter().map(|f| f.direct_charge).collect();
+    loop {
+        let mut changed = false;
+        for (i, info) in fns.iter().enumerate() {
+            if charges[i] {
+                continue;
+            }
+            let reaches = info.calls.iter().any(|callee| {
+                by_name
+                    .get(callee)
+                    .is_some_and(|idxs| idxs.iter().any(|&j| charges[j]))
+            });
+            if reaches {
+                charges[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Handlers are the kernel's syscall entry points: `sys_*` functions.
+    let mut out = Vec::new();
+    for (name, idxs) in &by_name {
+        if !name.starts_with("sys_") {
+            continue;
+        }
+        for &i in idxs {
+            if !charges[i] {
+                out.push(Diagnostic {
+                    file: fns[i].file.clone(),
+                    line: fns[i].line,
+                    rule: RULE,
+                    subject: name.clone(),
+                    message: format!(
+                        "{name} never reaches a charge/cost-model call: every syscall \
+                         handler must charge simulated time for its own work \
+                         (World::charge or a helper that does)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::fixtures::file_at;
+
+    const CHARGING_HANDLER: &str = "
+        pub fn sys_open(w: &mut World) -> SyscallResult {
+            let c = w.config.cost.file_struct_op();
+            w.charge(mid, pid, c);
+            done(Ok(SysRetval::ok(0)))
+        }";
+
+    #[test]
+    fn direct_charge_passes() {
+        let f = file_at("crates/ukernel/src/sys/fsops.rs", CHARGING_HANDLER);
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn transitive_charge_through_a_helper_passes() {
+        let helper = file_at(
+            "crates/ukernel/src/world.rs",
+            "impl World { pub fn do_exit(&mut self, mid: usize) { self.charge(mid, pid, c); } }",
+        );
+        let handler = file_at(
+            "crates/ukernel/src/sys/procops.rs",
+            "pub fn sys_exit(w: &mut World) -> SyscallResult { w.do_exit(0); SyscallResult::Gone }",
+        );
+        assert!(check(&[helper, handler]).is_empty());
+    }
+
+    #[test]
+    fn zero_cost_handler_is_flagged() {
+        let f = file_at(
+            "crates/ukernel/src/sys/procops.rs",
+            "pub fn sys_getpid(w: &mut World) -> SyscallResult { done(Ok(SysRetval::ok(1))) }",
+        );
+        let d = check(&[f]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].subject, "sys_getpid");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn non_kernel_and_test_code_is_out_of_scope() {
+        let app = file_at(
+            "crates/apps/src/loadbal.rs",
+            "pub fn sys_like_but_not_kernel() { nothing(); }",
+        );
+        let test = file_at(
+            "crates/ukernel/tests/kernel.rs",
+            "fn sys_fixture() { no_charge_needed(); }",
+        );
+        assert!(check(&[app, test]).is_empty());
+    }
+}

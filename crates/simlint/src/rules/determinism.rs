@@ -1,0 +1,142 @@
+//! Rule `determinism`: no iteration-order or wall-clock nondeterminism
+//! in the simulation.
+//!
+//! Two sub-checks share the rule id:
+//!
+//! * **Unordered containers.** `HashMap`/`HashSet` iterate in a
+//!   per-process-random order (`RandomState`), so any simulation state
+//!   held in one is a determinism landmine — exactly the
+//!   `Machine::warm_paths` bug this rule was written against. Forbidden
+//!   in every crate except `bench` (whose host-side measurement tables
+//!   never feed back into simulated state).
+//! * **Ambient host time and randomness.** `std::time::Instant`,
+//!   `SystemTime`, `thread_rng` and friends read the host, so two runs
+//!   of the same scenario would diverge. Forbidden *everywhere*,
+//!   including `bench` — the one legitimate use (host-side wall-clock
+//!   measurement around the interpreter) lives in a single helper
+//!   module carrying a scoped `simlint.toml` exemption.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "determinism";
+
+/// Crates whose state is (or feeds) the simulation. Everything except
+/// `bench`: even the linter itself sticks to ordered containers.
+fn is_sim_crate(name: &str) -> bool {
+    name != "bench"
+}
+
+const UNORDERED_CONTAINERS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Identifier → why it is nondeterministic.
+const AMBIENT_SOURCES: [(&str, &str); 6] = [
+    ("Instant", "reads the host monotonic clock"),
+    ("SystemTime", "reads the host wall clock"),
+    ("thread_rng", "draws ambient host randomness"),
+    ("ThreadRng", "draws ambient host randomness"),
+    ("from_entropy", "seeds from host entropy"),
+    ("RandomState", "hashes with a per-process random seed"),
+];
+
+/// Runs the rule over the workspace.
+pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        for t in &f.toks {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if is_sim_crate(&f.crate_name) && UNORDERED_CONTAINERS.contains(&t.text.as_str()) {
+                out.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    subject: t.text.clone(),
+                    message: format!(
+                        "{} iterates in per-process-random order; simulation state must \
+                         use BTreeMap/BTreeSet (or a Vec) so runs are bit-for-bit \
+                         reproducible",
+                        t.text
+                    ),
+                });
+            }
+            if let Some((_, why)) = AMBIENT_SOURCES.iter().find(|(id, _)| *id == t.text) {
+                out.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    subject: t.text.clone(),
+                    message: format!(
+                        "{} {why}; simulated time must come from SimTime/SimClock only \
+                         (host-side measurement belongs in bench's hostclock module)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::rules::fixtures::file_at;
+
+    #[test]
+    fn flags_hash_containers_in_sim_crates() {
+        let f = file_at(
+            "crates/ukernel/src/machine.rs",
+            "use std::collections::HashSet;\npub struct M { warm: HashSet<String> }\n",
+        );
+        let d = check(&[f]);
+        assert_eq!(d.len(), 2, "the use and the field");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+        assert_eq!(d[0].subject, "HashSet");
+    }
+
+    #[test]
+    fn bench_may_use_hash_containers_but_not_the_clock() {
+        let f = file_at(
+            "crates/bench/src/scenarios.rs",
+            "use std::collections::HashMap;\nfn t() { let _ = std::time::Instant::now(); }\n",
+        );
+        let d = check(&[f]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].subject, "Instant");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_the_rule() {
+        let f = file_at(
+            "crates/vfs/src/fs.rs",
+            "// A HashMap would be wrong here.\nconst WHY: &str = \"no Instant\";\n",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_hostclock_instant_is_silenced() {
+        let f = file_at(
+            "crates/bench/src/hostclock.rs",
+            "pub struct HostStopwatch(std::time::Instant);\n",
+        );
+        let cfg = Config::parse(
+            "[[allow]]\n\
+             rule = \"determinism\"\n\
+             path = \"crates/bench/src/hostclock.rs\"\n\
+             ident = \"Instant\"\n\
+             reason = \"host-side wall-clock measurement\"\n",
+        )
+        .unwrap();
+        let filtered = cfg.apply(check(&[f]));
+        assert!(filtered.kept.is_empty());
+        assert_eq!(filtered.silenced.len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Item- and call-level views over a token stream.
+//!
+//! The rules need two structural facts the flat token stream does not
+//! give directly: where each `fn` item's body starts and ends (for the
+//! charging rule's call graph) and which identifiers are *called* inside
+//! a range (ident immediately applied with `(`). Both are recovered here
+//! by brace matching — no full parse.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item: its name and the token range of its body.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's opening `{`.
+    pub body_start: usize,
+    /// Token index one past the body's closing `}`.
+    pub body_end: usize,
+}
+
+/// A call site: an identifier applied with `(`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (the last path segment: `fsops::close_common(..)`
+    /// records `close_common`).
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// Extracts every `fn` item (free functions and methods alike) from a
+/// token stream. Bodiless declarations (trait methods ending in `;`)
+/// are skipped.
+pub fn fn_items(toks: &[Tok]) -> Vec<FnItem> {
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            // Scan forward for the body's `{`, skipping the parameter
+            // list and any return type / where clause. A `;` first means
+            // a declaration without a body.
+            let mut j = i + 2;
+            let mut paren_depth = 0usize;
+            let mut body_start = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("(") {
+                    paren_depth += 1;
+                } else if t.is_punct(")") {
+                    paren_depth = paren_depth.saturating_sub(1);
+                } else if paren_depth == 0 && t.is_punct("{") {
+                    body_start = Some(j);
+                    break;
+                } else if paren_depth == 0 && t.is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(start) = body_start {
+                let end = match_brace(toks, start);
+                items.push(FnItem {
+                    name,
+                    line,
+                    body_start: start,
+                    body_end: end,
+                });
+                // Continue scanning *inside* the body too: nested fns
+                // and closures containing fns are still fns.
+                i = start + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    items
+}
+
+/// Index one past the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Every call site in `toks[range]`: an identifier directly followed by
+/// `(`. Macro invocations (`name!(...)`) and `fn` definitions are not
+/// calls and are excluded; `a.method(..)` and `path::func(..)` both
+/// record the final name.
+pub fn calls_in(toks: &[Tok], start: usize, end: usize) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    let end = end.min(toks.len());
+    for i in start..end {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // Definition, not a call.
+        if i > start && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if next.is_punct("(") {
+            calls.push(CallSite {
+                name: toks[i].text.clone(),
+                line: toks[i].line,
+            });
+        }
+    }
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_their_calls() {
+        let toks = lex(
+            "pub fn alpha(w: &mut World) -> u32 { beta(w); w.charge(1, 2); 0 }\n\
+             fn beta(w: &mut World) { format!(\"no{}\", 1); }\n\
+             trait T { fn decl(&self); }\n",
+        );
+        let items = fn_items(&toks);
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+
+        let alpha = &items[0];
+        let calls = calls_in(&toks, alpha.body_start, alpha.body_end);
+        let called: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(called.contains(&"beta"));
+        assert!(called.contains(&"charge"));
+
+        let beta = &items[1];
+        let calls = calls_in(&toks, beta.body_start, beta.body_end);
+        // `format!` is a macro, not a call — but the linter sees the
+        // ident before `!` has no `(` directly after it.
+        assert!(calls.iter().all(|c| c.name != "format"));
+    }
+
+    #[test]
+    fn nested_functions_are_found() {
+        let toks = lex("fn outer() { fn inner() { charge(); } inner(); }");
+        let items = fn_items(&toks);
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn where_clauses_and_return_types_are_skipped() {
+        let toks = lex("fn g<T: Clone>(x: T) -> Vec<T> where T: Default { work(x) }");
+        let items = fn_items(&toks);
+        assert_eq!(items.len(), 1);
+        let calls = calls_in(&toks, items[0].body_start, items[0].body_end);
+        assert_eq!(calls, vec![CallSite { name: "work".into(), line: 1 }]);
+    }
+}

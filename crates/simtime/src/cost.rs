@@ -150,6 +150,12 @@ pub struct CostModel {
     /// The 1-second poll sleep `dumpproc` takes between attempts to open
     /// `a.outXXXXX` (fixed by the paper).
     pub dumpproc_poll_sleep_us: u64,
+    /// The in-kernel body of a "quick" system call — one that only reads
+    /// or updates a field of the proc/user structure (`getpid`, `alarm`,
+    /// `sigsetmask`, `lseek`, ...). Small next to the trap cost, but not
+    /// zero: simlint's charging rule insists every handler charges for
+    /// its own work.
+    pub quick_call_us: u64,
 }
 
 impl CostModel {
@@ -187,6 +193,7 @@ impl CostModel {
             rsh_spawn_us: 2_400_000,
             rsh_teardown_us: 1_200_000,
             dumpproc_poll_sleep_us: 1_000_000,
+            quick_call_us: 50,
         }
     }
 
@@ -333,6 +340,11 @@ impl CostModel {
     /// The fixed poll sleep in `dumpproc`.
     pub fn dumpproc_poll_sleep(&self) -> SimDuration {
         SimDuration::micros(self.dumpproc_poll_sleep_us)
+    }
+
+    /// The body of a quick, proc-structure-only system call.
+    pub fn quick_call(&self) -> Cost {
+        Cost::cpu_us(self.quick_call_us)
     }
 }
 

@@ -1,7 +1,7 @@
 //! One workstation: filesystem, process table, open-file table, clock.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use m68vm::IsaLevel;
 use simtime::cost::Cost;
@@ -102,7 +102,10 @@ pub struct Machine {
     /// variable").
     pub exec_mig_stack: Vec<u8>,
     /// Paths whose inodes are in the buffer cache (namei warm set).
-    pub warm_paths: HashSet<String>,
+    /// Ordered on purpose: a hash set's iteration order varies run to
+    /// run, and nothing in the hottest kernel structure may be a
+    /// determinism hazard (enforced by simlint's determinism rule).
+    pub warm_paths: BTreeSet<String>,
     /// Event counters.
     pub stats: MachineStats,
     /// Peak kernel memory held by file-name strings (§5.1 memory
@@ -173,7 +176,7 @@ impl Machine {
             sockets: Vec::new(),
             exec_mig_flag: false,
             exec_mig_stack: Vec::new(),
-            warm_paths: HashSet::new(),
+            warm_paths: BTreeSet::new(),
             stats: MachineStats::default(),
             name_bytes_peak: 0,
             last_execve: None,

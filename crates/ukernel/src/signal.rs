@@ -118,6 +118,8 @@ fn push_handler_frame(w: &mut World, mid: MachineId, pid: Pid, sig: Signal, addr
 
 /// `sigreturn(2)`: unwind the frame pushed by the handler entry.
 pub fn sys_sigreturn(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     let r = (|| -> SysResult<SysRetval> {
         let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
         let Body::Vm(vm) = &mut p.body else {

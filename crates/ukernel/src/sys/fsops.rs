@@ -524,6 +524,8 @@ pub fn sys_lseek(
     offset: i64,
     whence: Whence,
 ) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let idx = w.file_idx(mid, pid, fd)?;
         let (kind, cur) = {

@@ -85,6 +85,10 @@ pub fn sys_fork(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
 
 /// `wait(2)`: reap a zombie child, or block until one appears.
 pub fn sys_wait(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    // The child-table scan below is kernel work, charged per attempt
+    // (a blocked wait re-scans every time it is re-issued).
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     let mut zombie: Option<(Pid, u32)> = None;
     let mut have_children = false;
     {
@@ -122,6 +126,8 @@ pub fn sys_wait(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
 
 /// `getpid(2)`; with `real`, the §7 `getpid_real()` extension.
 pub fn sys_getpid(w: &mut World, mid: MachineId, pid: Pid, real: bool) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
         let answer = if !real && w.config.virtualize_ids {
@@ -135,6 +141,8 @@ pub fn sys_getpid(w: &mut World, mid: MachineId, pid: Pid, real: bool) -> Syscal
 
 /// `getuid(2)`.
 pub fn sys_getuid(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
         Ok(SysRetval::ok(p.user.cred.ruid.as_u32()))
@@ -149,6 +157,8 @@ pub fn sys_gethostname(
     buf_len: usize,
     real: bool,
 ) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done({
         let virtualised = if !real && w.config.virtualize_ids {
             w.proc_ref(mid, pid).and_then(|p| p.user.old_host.clone())
@@ -164,6 +174,8 @@ pub fn sys_gethostname(
 
 /// `getwd`: the kernel's §5.1 cwd string made visible.
 pub fn sys_getwd(w: &mut World, mid: MachineId, pid: Pid, buf_len: usize) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
         let cwd = p.user.cwd_path.clone().ok_or(Errno::EINVAL)?;
@@ -224,6 +236,8 @@ pub fn sys_sigvec(
     sig: u32,
     disp: Disposition,
 ) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let sig = Signal::from_number(sig)?;
         if sig.uncatchable() && disp != Disposition::Default {
@@ -244,6 +258,8 @@ pub fn sys_sigvec(
 /// `sigsetmask(2)`: replace the blocked mask, returning the old one.
 /// `SIGKILL` and `SIGSTOP` cannot be blocked.
 pub fn sys_sigsetmask(w: &mut World, mid: MachineId, pid: Pid, mask: u32) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let unblockable =
             (1u32 << (Signal::SIGKILL.number() - 1)) | (1 << (Signal::SIGSTOP.number() - 1));
@@ -257,6 +273,8 @@ pub fn sys_sigsetmask(w: &mut World, mid: MachineId, pid: Pid, mask: u32) -> Sys
 /// `alarm(2)`: schedule a `SIGALRM`, returning the seconds that
 /// remained on any previous alarm (0 if none).
 pub fn sys_alarm(w: &mut World, mid: MachineId, pid: Pid, secs: u32) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let now = w.machine(mid).now;
         let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
@@ -278,7 +296,11 @@ pub fn sys_alarm(w: &mut World, mid: MachineId, pid: Pid, secs: u32) -> SyscallR
 
 /// `gettimeofday(2)`: virtual micro-seconds since boot, low half in the
 /// value, high half in the data bytes.
-pub fn sys_gettimeofday(w: &mut World, mid: MachineId, _pid: Pid) -> SyscallResult {
+pub fn sys_gettimeofday(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+    // Charged before the clock is read, so the returned time includes
+    // this call's own CPU — as a real kernel's would.
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     let us = w.machine(mid).now.as_micros();
     done(Ok(SysRetval::with_data(
         us as u32,
@@ -294,6 +316,8 @@ pub fn sys_setreuid(
     ruid: u32,
     euid: u32,
 ) -> SyscallResult {
+    let c = w.config.cost.quick_call();
+    w.charge(mid, pid, c);
     done((|| {
         let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
         let cur = p.user.cred.clone();
