@@ -14,4 +14,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # vocabulary, magic literals. Exemptions live in simlint.toml; a
 # nonzero exit means a new violation (or a stale exemption config).
 cargo run -p simlint --release
+# Smoke-run the measured-syscall figures: drift in the dispatch path's
+# charged costs moves these ratios, and figures_sanity.rs pins the
+# bands — this catches a figures binary that no longer even runs.
+cargo run --release -p bench --bin figures -- fig1 fig2 fig3
 cargo bench -p bench --bench simulator -- --test

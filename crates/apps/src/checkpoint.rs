@@ -48,7 +48,7 @@ pub struct CheckpointRecord {
 }
 
 fn copy_file(sys: &Sys, from: &str, to: &str) -> SysResult<u64> {
-    let src = sys.open(from, OpenFlags::RDONLY.bits())?;
+    let src = sys.open(from, OpenFlags::RDONLY.bits(), 0)?;
     let data = sys.read_all(src)?;
     sys.close(src)?;
     let dst = sys.creat(to, 0o600)?;
@@ -75,7 +75,7 @@ pub fn snapshot_once(sys: &Sys, pid: Pid, dir: &str, n: u32) -> SysResult<Pid> {
 
     // Copy every open regular file next to them and record a files file
     // whose paths point at the copies — the "consistent view".
-    let fd = sys.open(&names.files, OpenFlags::RDONLY.bits())?;
+    let fd = sys.open(&names.files, OpenFlags::RDONLY.bits(), 0)?;
     let bytes = sys.read_all(fd)?;
     sys.close(fd)?;
     let mut files = FilesFile::decode(&bytes).map_err(|_| Errno::EINVAL)?;

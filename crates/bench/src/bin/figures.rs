@@ -6,6 +6,7 @@
 //! ```text
 //! figures                 # everything
 //! figures fig1 fig4       # selected experiments
+//! figures kernel          # kernel-side per-syscall aggregates
 //! figures --json          # machine-readable output (EXPERIMENTS.md)
 //! ```
 
@@ -105,6 +106,25 @@ fn run_fig4(json: bool) {
     }
 }
 
+fn run_kernel(json: bool) {
+    let rows = scenarios::kernel_syscalls();
+    if json {
+        println!("{}", to_string_pretty(rows.as_slice()));
+        return;
+    }
+    hr("Kernel per-syscall aggregates (Fig-1 workloads, modified kernel)");
+    println!(
+        "{:<12} {:>8} {:>12} {:>10}",
+        "syscall", "count", "total (us)", "max (us)"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>8} {:>12} {:>10}",
+            r.syscall, r.count, r.total_us, r.max_us
+        );
+    }
+}
+
 fn run_ablations(json: bool) {
     let daemon = scenarios::ablation_daemon();
     let virt = scenarios::ablation_virt();
@@ -185,6 +205,9 @@ fn main() {
     }
     if want("fig4") {
         run_fig4(json);
+    }
+    if want("kernel") {
+        run_kernel(json);
     }
     if all || picks.iter().any(|p| p.starts_with("ablation")) {
         run_ablations(json);

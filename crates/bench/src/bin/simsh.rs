@@ -24,9 +24,9 @@
 //! Commands: `boot <host> [isa2]`, `install <host> <path> <workload>`,
 //! `spawn <host> <path>`, `type <tty> <text>`, `keys <tty> <chars>`,
 //! `eof <tty>`, `screen <tty>`, `run <slices>`, `ps <host>`,
-//! `time <host>`, `dumpproc <host> <pid>`, `restart <host> <pid>
-//! [dumphost]`, `migrate <pid> <from> <to> [cmdhost]`, `cat <host>
-//! <path>`, `help`, `quit`. Workloads: `testprog`, `editor`, `pidprog`,
+//! `time <host>`, `ktrace <host> [n]`, `dumpproc <host> <pid>`,
+//! `restart <host> <pid> [dumphost]`, `migrate <pid> <from> <to>
+//! [cmdhost]`, `cat <host> <path>`, `help`, `quit`. Workloads: `testprog`, `editor`, `pidprog`,
 //! `envprog`, `waiter`, `hog:<rounds>`, `openclose:<n>`, `chdir:<n>`.
 
 use std::io::BufRead;
@@ -76,6 +76,7 @@ commands:
   screen <tty>                    show what a terminal displays
   ps <host>                       process listing
   time <host>                     the machine's virtual clock
+  ktrace <host> [n]               newest syscall trace records (all if no n)
   cat <host> <path>               print a file
   dumpproc <host> <pid>           run dumpproc there
   restart <host> <pid> [dumphost] run restart there (new terminal)
@@ -175,6 +176,19 @@ fn dispatch(world: &mut World, parts: &[&str]) -> Result<(), String> {
         ["time", host] => {
             let m = machine_by_name(world, host)?;
             println!("{}", world.machine(m).now);
+        }
+        ["ktrace", host] | ["ktrace", host, _] => {
+            let m = machine_by_name(world, host)?;
+            let last = match parts.get(2) {
+                Some(n) => Some(n.parse().map_err(|_| "bad record count".to_string())?),
+                None => None,
+            };
+            let k = &world.machine(m).ktrace;
+            if k.is_empty() {
+                println!("(no syscall records on {host} yet)");
+            } else {
+                print!("{}", k.render(last));
+            }
         }
         ["cat", host, path] => {
             let m = machine_by_name(world, host)?;

@@ -715,6 +715,56 @@ pub fn ablation_loadbal() -> Vec<AblationLoadbalRow> {
 }
 
 // ---------------------------------------------------------------------
+// Kernel-side per-syscall aggregates.
+// ---------------------------------------------------------------------
+
+/// One row of the dispatcher's per-syscall accounting table
+/// (`Machine::stats.per_syscall`, maintained by the exit hook).
+#[derive(Clone, Debug)]
+pub struct KernelSyscallRow {
+    /// Trap-table name.
+    pub syscall: String,
+    /// Dispatch attempts (blocked retries count separately).
+    pub count: u64,
+    /// Total simulated time charged across attempts, micro-seconds.
+    pub total_us: u64,
+    /// The single most expensive attempt, micro-seconds.
+    pub max_us: u64,
+}
+
+/// Runs the Figure-1 workloads (100 open/close pairs, then 100 chdir
+/// triples) on the modified kernel and returns the dispatcher's
+/// exit-hook aggregates — kernel-side numbers to sit beside the
+/// bench-side timings in the figures JSON. Everything here is simulated
+/// state, so the table is deterministic row for row.
+pub fn kernel_syscalls() -> Vec<KernelSyscallRow> {
+    let mut w = World::new(KernelConfig::paper());
+    let m = w.add_machine("brick", IsaLevel::Isa1);
+    w.host_write_file(m, "/tmp/f", b"x").unwrap();
+    for (path, src) in [
+        ("/bin/openclose", workloads::openclose_program(100)),
+        ("/bin/chdir", workloads::chdir_program(100)),
+    ] {
+        let obj = assemble(&src).expect("assemble kernel-syscall workload");
+        w.install_program(m, path, &obj).unwrap();
+        let pid = w.spawn_vm_proc(m, path, None, alice()).unwrap();
+        let info = w.run_until_exit(m, pid, 10_000_000).expect("workload exits");
+        assert_eq!(info.status, 0, "kernel-syscall workload must succeed");
+    }
+    w.machine(m)
+        .stats
+        .per_syscall
+        .iter()
+        .map(|(name, agg)| KernelSyscallRow {
+            syscall: (*name).to_string(),
+            count: agg.count,
+            total_us: agg.total_us,
+            max_us: agg.max_us,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // JSON field listings for the `figures --json` output.
 // ---------------------------------------------------------------------
 
@@ -727,3 +777,4 @@ impl_to_json!(AblationVirtRow { kernel, status });
 impl_to_json!(AblationNamesRow { strategy, peak_bytes });
 impl_to_json!(AblationCheckpointRow { interval_ms, completion_ms, overhead, expected_loss_ms });
 impl_to_json!(AblationLoadbalRow { policy, makespan_ms, migrations });
+impl_to_json!(KernelSyscallRow { syscall, count, total_us, max_us });

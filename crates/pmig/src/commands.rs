@@ -33,7 +33,7 @@ pub fn dumpproc(sys: &Sys, pid: Pid) -> SysResult<()> {
     let mut opened = None;
     for _ in 0..DUMP_POLL_TRIES {
         sys.sleep_us(DUMP_POLL_SLEEP_US)?;
-        match sys.open(&names.a_out, 0) {
+        match sys.open(&names.a_out, 0, 0) {
             Ok(fd) => {
                 opened = Some(fd);
                 break;
@@ -46,7 +46,7 @@ pub fn dumpproc(sys: &Sys, pid: Pid) -> SysResult<()> {
     sys.close(fd)?;
 
     // "Reads in the filesXXXXX file."
-    let fd = sys.open(&names.files, 0)?;
+    let fd = sys.open(&names.files, 0, 0)?;
     let bytes = sys.read_all(fd)?;
     sys.close(fd)?;
     let mut files = FilesFile::decode(&bytes).map_err(|_| Errno::EINVAL)?;
@@ -111,12 +111,12 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
 
     // "Verifies that the three files ... exist, and that they have the
     // correct format by checking their magic numbers."
-    let fd = sys.open(&a_out, 0)?;
+    let fd = sys.open(&a_out, 0, 0)?;
     let header = sys.read(fd, aout::AOUT_HEADER_LEN)?;
     sys.close(fd)?;
     AoutHeader::decode(&header).map_err(|_| Errno::ENOEXEC)?;
 
-    let fd = sys.open(&files_path, 0)?;
+    let fd = sys.open(&files_path, 0, 0)?;
     let files_bytes = sys.read_all(fd)?;
     sys.close(fd)?;
     let files = FilesFile::decode(&files_bytes).map_err(|_| Errno::EINVAL)?;
@@ -126,7 +126,7 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
     // "Reads the old user credentials from the stackXXXXX file and
     // establishes them as its own. This is the only information that it
     // reads from this file."
-    let fd = sys.open(&stack_path, 0)?;
+    let fd = sys.open(&stack_path, 0, 0)?;
     let head = sys.read(fd, 2 + 16)?;
     sys.close(fd)?;
     let cred = StackFile::peek_credentials(&head).map_err(|_| Errno::EINVAL)?;
@@ -149,7 +149,7 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
                 path,
                 flags,
                 offset,
-            } => match sys.open(path, flags.reopen_flags().bits()) {
+            } => match sys.open(path, flags.reopen_flags().bits(), 0) {
                 Ok(fd) => {
                     // "Positions the file pointer to the correct offset."
                     let _ = sys.lseek(fd, *offset as i64, Whence::Set);
@@ -180,7 +180,7 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
 
     // "Reads in the old terminal flags and sets those of the current
     // terminal appropriately."
-    if let Ok(tty_fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits()) {
+    if let Ok(tty_fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits(), 0) {
         let _ = sys.stty(tty_fd, files.tty_flags);
         let _ = sys.close(tty_fd);
     }
@@ -197,11 +197,11 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
 /// so that the user may have some control over the restarted program."
 fn open_placeholder(sys: &Sys, fd_no: usize) -> SysResult<usize> {
     if fd_no <= 2 {
-        if let Ok(fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits()) {
+        if let Ok(fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits(), 0) {
             return Ok(fd);
         }
     }
-    sys.open("/dev/null", OpenFlags::RDWR.bits())
+    sys.open("/dev/null", OpenFlags::RDWR.bits(), 0)
 }
 
 /// **`migrate`** (§4.1): "move a process from one machine to another.
@@ -251,10 +251,10 @@ pub fn migrate(sys: &Sys, pid: Pid, from_host: &str, to_host: &str) -> SysResult
 /// **`undump`**: combine an executable and a core dump into a new
 /// executable — the utility §4.3 notes we get "for free".
 pub fn undump_cmd(sys: &Sys, exe_path: &str, core_path: &str, out_path: &str) -> SysResult<()> {
-    let fd = sys.open(exe_path, 0)?;
+    let fd = sys.open(exe_path, 0, 0)?;
     let exe = sys.read_all(fd)?;
     sys.close(fd)?;
-    let fd = sys.open(core_path, 0)?;
+    let fd = sys.open(core_path, 0, 0)?;
     let core = sys.read_all(fd)?;
     sys.close(fd)?;
     let merged = aout::undump(&exe, &core).map_err(|_| Errno::ENOEXEC)?;

@@ -663,7 +663,7 @@ fn dump_files_are_private_to_the_owner() {
         "snoop",
         None,
         Credentials::user(Uid(666), Gid(66)),
-        Box::new(move |sys| match sys.open(&stack_path, 0) {
+        Box::new(move |sys| match sys.open(&stack_path, 0, 0) {
             Err(sysdefs::Errno::EACCES) => 0,
             other => {
                 let _ = other;

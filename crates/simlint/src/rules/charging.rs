@@ -2,19 +2,30 @@
 //!
 //! The paper's figures are simulated-time measurements, so a handler
 //! that mutates kernel state without charging simulated time silently
-//! deflates every number downstream. This rule checks that each
-//! `sys_*` handler in the kernel can reach a cost-model charge —
-//! `World::charge`, `World::charge_rpc`, `Machine::charge_sys` or
-//! `Machine::charge_user` — through the kernel's own call graph.
+//! deflates every number downstream. Since the `SysCtx` refactor the
+//! kernel has exactly one accounted entry path, and this rule pins both
+//! halves of that contract structurally:
 //!
-//! The analysis is a may-reach fixpoint over function names: a function
-//! charges if its body calls a charge sink directly, or calls (by name)
-//! any kernel function that charges. Matching by bare name
-//! over-approximates (two kernel functions sharing a name merge), which
-//! can only produce false negatives for *other* functions, never false
-//! positives — a flagged handler genuinely has no charging call
+//! * **Signature.** Every `sys_*` handler in the kernel takes
+//!   `&mut SysCtx`. The context is what carries the per-call
+//!   accounting; a handler reverting to a raw `&mut World` (plus loose
+//!   machine/pid arguments) would charge time the dispatcher cannot
+//!   see.
+//! * **Reachability.** Each handler can reach a charge through the
+//!   kernel's own call graph. The sinks are the `SysCtx` accounting
+//!   methods — `charge` and `charge_rpc` — and only those: the
+//!   `World` primitives they wrap are named `charge_kernel` /
+//!   `charge_kernel_rpc` precisely so a bare `charge(...)` call in
+//!   kernel code can only be the accounted context method.
+//!
+//! The reachability analysis is a may-reach fixpoint over function
+//! names: a function charges if its body calls a sink directly, or
+//! calls (by name) any kernel function that charges. Matching by bare
+//! name over-approximates (two kernel functions sharing a name merge),
+//! which can only produce false negatives for *other* functions, never
+//! false positives — a flagged handler genuinely has no charging call
 //! anywhere in its reachable name set. The dispatcher's per-trap charge
-//! in `do_syscall` is deliberately not credited to handlers: the trap
+//! in `dispatch()` is deliberately not credited to handlers: the trap
 //! prices kernel entry/exit, not the handler's own work.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -26,8 +37,10 @@ use crate::workspace::{Role, SourceFile};
 /// Rule id.
 pub const RULE: &str = "simtime-charging";
 
-/// Calls that charge simulated time.
-const SINKS: [&str; 4] = ["charge", "charge_sys", "charge_user", "charge_rpc"];
+/// The `SysCtx` accounting methods. `World`'s kernel-internal
+/// primitives are spelled `charge_kernel`/`charge_kernel_rpc` so these
+/// names are unambiguous in kernel code.
+const SINKS: [&str; 2] = ["charge", "charge_rpc"];
 
 /// Runs the rule over the workspace.
 pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
@@ -38,6 +51,8 @@ pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
         direct_charge: bool,
     }
 
+    let mut out = Vec::new();
+
     // Collect every function in the kernel crate's shipped sources.
     let mut fns: Vec<FnInfo> = Vec::new();
     let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
@@ -46,6 +61,22 @@ pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
             continue;
         }
         for item in fn_items(&f.toks) {
+            // Signature half of the contract: handlers take the
+            // accounted context, by exclusive reference.
+            if item.name.starts_with("sys_") && !takes_mut_sysctx(&f.toks, &item) {
+                out.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: item.line,
+                    rule: RULE,
+                    subject: item.name.clone(),
+                    message: format!(
+                        "{} does not take `&mut SysCtx`: syscall handlers must go \
+                         through the accounted kernel-entry context, not a raw \
+                         World/machine/pid triple",
+                        item.name
+                    ),
+                });
+            }
             let calls: BTreeSet<String> = calls_in(&f.toks, item.body_start, item.body_end)
                 .into_iter()
                 .map(|c| c.name)
@@ -85,7 +116,6 @@ pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
     }
 
     // Handlers are the kernel's syscall entry points: `sys_*` functions.
-    let mut out = Vec::new();
     for (name, idxs) in &by_name {
         if !name.starts_with("sys_") {
             continue;
@@ -100,13 +130,27 @@ pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
                     message: format!(
                         "{name} never reaches a charge/cost-model call: every syscall \
                          handler must charge simulated time for its own work \
-                         (World::charge or a helper that does)"
+                         (SysCtx::charge or a helper that does)"
                     ),
                 });
             }
         }
     }
+    out.sort();
     out
+}
+
+/// Does the signature `toks[sig_start..body_start]` contain a
+/// `&mut ... SysCtx` parameter? The path between `mut` and `SysCtx` is
+/// free (`&mut SysCtx`, `&mut crate::sys::ctx::SysCtx` both match).
+fn takes_mut_sysctx(toks: &[crate::lexer::Tok], item: &crate::visitor::FnItem) -> bool {
+    let sig = &toks[item.sig_start..item.body_start];
+    let Some(k) = sig.iter().position(|t| t.is_ident("SysCtx")) else {
+        return false;
+    };
+    sig[..k]
+        .windows(2)
+        .any(|w| w[0].is_punct("&") && w[1].is_ident("mut"))
 }
 
 #[cfg(test)]
@@ -115,9 +159,9 @@ mod tests {
     use crate::rules::fixtures::file_at;
 
     const CHARGING_HANDLER: &str = "
-        pub fn sys_open(w: &mut World) -> SyscallResult {
-            let c = w.config.cost.file_struct_op();
-            w.charge(mid, pid, c);
+        pub fn sys_open(cx: &mut SysCtx<'_>) -> SyscallResult {
+            let c = cx.cost().file_struct_op();
+            cx.charge(c);
             done(Ok(SysRetval::ok(0)))
         }";
 
@@ -130,12 +174,14 @@ mod tests {
     #[test]
     fn transitive_charge_through_a_helper_passes() {
         let helper = file_at(
-            "crates/ukernel/src/world.rs",
-            "impl World { pub fn do_exit(&mut self, mid: usize) { self.charge(mid, pid, c); } }",
+            "crates/ukernel/src/sys/fsops.rs",
+            "pub(crate) fn close_common(cx: &mut SysCtx<'_>, fd: usize) -> SysResult<SysRetval> \
+             { cx.charge(c); Ok(SysRetval::ok(0)) }",
         );
         let handler = file_at(
             "crates/ukernel/src/sys/procops.rs",
-            "pub fn sys_exit(w: &mut World) -> SyscallResult { w.do_exit(0); SyscallResult::Gone }",
+            "pub fn sys_close(cx: &mut SysCtx<'_>, fd: usize) -> SyscallResult \
+             { done(close_common(cx, fd)) }",
         );
         assert!(check(&[helper, handler]).is_empty());
     }
@@ -144,12 +190,54 @@ mod tests {
     fn zero_cost_handler_is_flagged() {
         let f = file_at(
             "crates/ukernel/src/sys/procops.rs",
-            "pub fn sys_getpid(w: &mut World) -> SyscallResult { done(Ok(SysRetval::ok(1))) }",
+            "pub fn sys_getpid(cx: &mut SysCtx<'_>) -> SyscallResult { done(Ok(SysRetval::ok(1))) }",
         );
         let d = check(&[f]);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].subject, "sys_getpid");
         assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn raw_world_handler_is_flagged_even_if_it_charges() {
+        let f = file_at(
+            "crates/ukernel/src/sys/fsops.rs",
+            "pub fn sys_open(w: &mut World, mid: usize, pid: Pid) -> SyscallResult \
+             { w.charge(mid, pid, c); done(Ok(SysRetval::ok(0))) }",
+        );
+        let d = check(&[f]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].subject, "sys_open");
+        assert!(d[0].message.contains("&mut SysCtx"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn world_kernel_primitives_are_not_sinks() {
+        // A handler that only reaches World::charge_kernel (the
+        // dispatcher-invisible primitive) has bypassed per-call
+        // accounting and is flagged.
+        let helper = file_at(
+            "crates/ukernel/src/world.rs",
+            "impl World { pub fn charge_kernel(&mut self, mid: usize) { self.tick(mid); } }",
+        );
+        let handler = file_at(
+            "crates/ukernel/src/sys/procops.rs",
+            "pub fn sys_alarm(cx: &mut SysCtx<'_>) -> SyscallResult \
+             { cx.w.charge_kernel(0); done(Ok(SysRetval::ok(0))) }",
+        );
+        let d = check(&[helper, handler]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].subject, "sys_alarm");
+    }
+
+    #[test]
+    fn fully_qualified_sysctx_path_matches() {
+        let f = file_at(
+            "crates/ukernel/src/signal.rs",
+            "pub fn sys_sigreturn(cx: &mut crate::sys::ctx::SysCtx<'_>) -> SyscallResult \
+             { cx.charge(c); done(Ok(SysRetval::ok(0))) }",
+        );
+        assert!(check(&[f]).is_empty());
     }
 
     #[test]

@@ -8,13 +8,17 @@
 
 use crate::lexer::{Tok, TokKind};
 
-/// One `fn` item: its name and the token range of its body.
+/// One `fn` item: its name and the token ranges of its signature and
+/// body.
 #[derive(Clone, Debug)]
 pub struct FnItem {
     /// The function's name.
     pub name: String,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword; `sig_start..body_start` covers
+    /// the whole signature (name, generics, parameters, return type).
+    pub sig_start: usize,
     /// Token index of the body's opening `{`.
     pub body_start: usize,
     /// Token index one past the body's closing `}`.
@@ -66,6 +70,7 @@ pub fn fn_items(toks: &[Tok]) -> Vec<FnItem> {
                 items.push(FnItem {
                     name,
                     line,
+                    sig_start: i,
                     body_start: start,
                     body_end: end,
                 });
@@ -153,6 +158,16 @@ mod tests {
         // `format!` is a macro, not a call — but the linter sees the
         // ident before `!` has no `(` directly after it.
         assert!(calls.iter().all(|c| c.name != "format"));
+    }
+
+    #[test]
+    fn signature_range_covers_the_parameter_list() {
+        let toks = lex("pub fn sys_open(cx: &mut SysCtx<'_>, path: &str) -> SyscallResult { x() }");
+        let items = fn_items(&toks);
+        assert_eq!(items.len(), 1);
+        let sig = &toks[items[0].sig_start..items[0].body_start];
+        assert!(sig.iter().any(|t| t.is_ident("SysCtx")));
+        assert!(sig.iter().all(|t| !t.is_ident("x")), "body excluded");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use mode::FileMode;
 pub use openflags::OpenFlags;
 pub use signal::Signal;
 pub use signal::{DefaultAction, Disposition};
-pub use syscall::Sysno;
+pub use syscall::{CostClass, Sysno, SyscallMeta, SYSCALL_TABLE};
 pub use ttyflags::TtyFlags;
 
 /// Result type used by everything that can fail with a Unix error number.

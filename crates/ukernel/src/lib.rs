@@ -31,6 +31,7 @@
 
 pub mod config;
 pub mod file;
+pub mod ktrace;
 pub mod machine;
 pub mod namei;
 pub mod native;
@@ -42,9 +43,11 @@ pub mod world;
 
 pub use config::KernelConfig;
 pub use file::{Fd, FileKind, FileStruct};
+pub use ktrace::{Ktrace, KtraceEvent, KtraceRecord, KtraceResult};
 pub use machine::{Machine, MachineId};
 pub use native::{NativeProgram, Sys};
 pub use proc::{Body, ExitInfo, Proc, ProcState};
 pub use sys::args::{IoctlReq, Syscall, SyscallResult, Whence};
+pub use sys::ctx::SysCtx;
 pub use user::{FileRef, UserArea};
 pub use world::{RunOutcome, World};

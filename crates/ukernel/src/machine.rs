@@ -33,6 +33,26 @@ pub struct SocketPair {
     pub bufs: [PipeBuf; 2],
 }
 
+/// Per-syscall aggregate, maintained by the dispatcher's exit hook.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyscallAgg {
+    /// Dispatch attempts (blocked retries count, like `syscalls`).
+    pub count: u64,
+    /// Total simtime charged across attempts, micro-seconds.
+    pub total_us: u64,
+    /// The single most expensive attempt, micro-seconds.
+    pub max_us: u64,
+}
+
+impl SyscallAgg {
+    /// Folds one dispatch attempt's charge into the aggregate.
+    pub fn note(&mut self, charged_us: u64) {
+        self.count += 1;
+        self.total_us += charged_us;
+        self.max_us = self.max_us.max(charged_us);
+    }
+}
+
 /// Per-machine event counters.
 #[derive(Clone, Debug, Default)]
 pub struct MachineStats {
@@ -52,6 +72,10 @@ pub struct MachineStats {
     pub dumps: u64,
     /// `rest_proc` restores completed.
     pub restores: u64,
+    /// Kernel-side per-syscall aggregates (count, total and max charged
+    /// simtime), keyed by trap-table name. Ordered so iteration — and
+    /// the figures JSON built from it — is deterministic.
+    pub per_syscall: BTreeMap<&'static str, SyscallAgg>,
 }
 
 /// Kernel-side timing of one system call (the paper's Fig. 3 is
@@ -108,6 +132,8 @@ pub struct Machine {
     pub warm_paths: BTreeSet<String>,
     /// Event counters.
     pub stats: MachineStats,
+    /// The deterministic syscall trace ring (see [`crate::ktrace`]).
+    pub ktrace: crate::ktrace::Ktrace,
     /// Peak kernel memory held by file-name strings (§5.1 memory
     /// argument / A3 ablation).
     pub name_bytes_peak: usize,
@@ -178,6 +204,7 @@ impl Machine {
             exec_mig_stack: Vec::new(),
             warm_paths: BTreeSet::new(),
             stats: MachineStats::default(),
+            ktrace: crate::ktrace::Ktrace::default(),
             name_bytes_peak: 0,
             last_execve: None,
             last_rest_proc: None,

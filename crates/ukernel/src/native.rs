@@ -142,11 +142,13 @@ impl Sys {
         self.call(sc)?.val
     }
 
-    /// Opens a file; returns the descriptor.
-    pub fn open(&self, path: &str, flags: u16) -> SysResult<usize> {
+    /// Opens a file; returns the descriptor. `mode` gives the
+    /// permission bits of a `CREAT` open and is ignored otherwise.
+    pub fn open(&self, path: &str, flags: u16, mode: u16) -> SysResult<usize> {
         self.val(Syscall::Open {
             path: path.into(),
             flags,
+            mode,
         })
         .map(|v| v as usize)
     }
@@ -586,7 +588,7 @@ mod tests {
     fn requests_arrive_in_program_order() {
         let seen = drive(
             |sys| {
-                let fd = sys.open("/etc/motd", 0).unwrap();
+                let fd = sys.open("/etc/motd", 0, 0).unwrap();
                 let _ = sys.read(fd, 10);
                 sys.close(fd).unwrap();
                 0
@@ -599,7 +601,7 @@ mod tests {
     #[test]
     fn errno_propagates() {
         let seen = drive(
-            |sys| match sys.open("/missing", 0) {
+            |sys| match sys.open("/missing", 0, 0) {
                 Err(Errno::ENOENT) => 42,
                 other => panic!("unexpected {other:?}"),
             },
@@ -630,7 +632,7 @@ mod tests {
     #[test]
     fn killed_process_unwinds_with_eintr() {
         let chan = spawn_native(Box::new(|sys| {
-            match sys.open("/x", 0) {
+            match sys.open("/x", 0, 0) {
                 Err(Errno::EINTR) => {}
                 other => panic!("unexpected {other:?}"),
             }

@@ -32,7 +32,7 @@ pub fn deliver_pending(w: &mut World, mid: MachineId, pid: Pid) -> bool {
         };
         w.machine_mut(mid).stats.signals += 1;
         let c = w.config.cost.signal_delivery();
-        w.charge(mid, pid, c);
+        w.charge_kernel(mid, pid, c);
 
         let disp = {
             let p = w.proc_ref(mid, pid).expect("checked above");
@@ -117,11 +117,11 @@ fn push_handler_frame(w: &mut World, mid: MachineId, pid: Pid, sig: Signal, addr
 }
 
 /// `sigreturn(2)`: unwind the frame pushed by the handler entry.
-pub fn sys_sigreturn(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_sigreturn(cx: &mut crate::sys::ctx::SysCtx<'_>) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     let r = (|| -> SysResult<SysRetval> {
-        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
         let Body::Vm(vm) = &mut p.body else {
             return Err(Errno::EINVAL);
         };
@@ -192,7 +192,7 @@ fn kernel_write_file(
         .disk_create()
         .plus(w.config.cost.disk_write(bytes.len()))
         .plus(w.config.cost.disk_sync_close());
-    w.charge(mid, pid, c);
+    w.charge_kernel(mid, pid, c);
     Ok(())
 }
 
@@ -318,7 +318,7 @@ pub fn write_migration_dump(w: &mut World, mid: MachineId, pid: Pid) -> SysResul
         .cost
         .copy_bytes(gather_bytes)
         .plus(Cost::cpu_us(500));
-    w.charge(mid, pid, c);
+    w.charge_kernel(mid, pid, c);
 
     let names = dump_file_names(pid);
     let dir = sysdefs::limits::DUMP_DIR;

@@ -72,6 +72,8 @@ pub enum Syscall {
         path: String,
         /// `OpenFlags` bits.
         flags: u16,
+        /// Permission bits for a `CREAT` open (ignored otherwise).
+        mode: u16,
     },
     /// Create a file and open it for writing.
     Creat {
@@ -248,47 +250,58 @@ pub enum Syscall {
 }
 
 impl Syscall {
-    /// A short name for traces and statistics.
-    pub fn name(&self) -> &'static str {
+    /// The call's number, keying its [`sysdefs::SyscallMeta`] row.
+    pub fn sysno(&self) -> sysdefs::Sysno {
+        use sysdefs::Sysno;
         use Syscall::*;
         match self {
-            Exit { .. } => "exit",
-            Fork => "fork",
-            Read { .. } => "read",
-            Write { .. } => "write",
-            Open { .. } => "open",
-            Creat { .. } => "creat",
-            Close { .. } => "close",
-            Wait => "wait",
-            Link { .. } => "link",
-            Unlink { .. } => "unlink",
-            Chdir { .. } => "chdir",
-            Stat { .. } => "stat",
-            Lseek { .. } => "lseek",
-            Getpid => "getpid",
-            Getuid => "getuid",
-            Kill { .. } => "kill",
-            Dup { .. } => "dup",
-            Pipe => "pipe",
-            Ioctl { .. } => "ioctl",
-            Symlink { .. } => "symlink",
-            Readlink { .. } => "readlink",
-            Execve { .. } => "execve",
-            Gethostname { .. } => "gethostname",
-            Socket => "socket",
-            Sigvec { .. } => "sigvec",
-            Sigsetmask { .. } => "sigsetmask",
-            Alarm { .. } => "alarm",
-            Gettimeofday => "gettimeofday",
-            Setreuid { .. } => "setreuid",
-            Mkdir { .. } => "mkdir",
-            Sigreturn => "sigreturn",
-            Sleep { .. } => "sleep",
-            RestProc { .. } => "rest_proc",
-            GetpidReal => "getpid_real",
-            GethostnameReal { .. } => "gethostname_real",
-            Getwd { .. } => "getwd",
+            Exit { .. } => Sysno::Exit,
+            Fork => Sysno::Fork,
+            Read { .. } => Sysno::Read,
+            Write { .. } => Sysno::Write,
+            Open { .. } => Sysno::Open,
+            Creat { .. } => Sysno::Creat,
+            Close { .. } => Sysno::Close,
+            Wait => Sysno::Wait,
+            Link { .. } => Sysno::Link,
+            Unlink { .. } => Sysno::Unlink,
+            Chdir { .. } => Sysno::Chdir,
+            Stat { .. } => Sysno::Stat,
+            Lseek { .. } => Sysno::Lseek,
+            Getpid => Sysno::Getpid,
+            Getuid => Sysno::Getuid,
+            Kill { .. } => Sysno::Kill,
+            Dup { .. } => Sysno::Dup,
+            Pipe => Sysno::Pipe,
+            Ioctl { .. } => Sysno::Ioctl,
+            Symlink { .. } => Sysno::Symlink,
+            Readlink { .. } => Sysno::Readlink,
+            Execve { .. } => Sysno::Execve,
+            Gethostname { .. } => Sysno::Gethostname,
+            Socket => Sysno::Socket,
+            Sigvec { .. } => Sysno::Sigvec,
+            Sigsetmask { .. } => Sysno::Sigsetmask,
+            Alarm { .. } => Sysno::Alarm,
+            Gettimeofday => Sysno::Gettimeofday,
+            Setreuid { .. } => Sysno::Setreuid,
+            Mkdir { .. } => Sysno::Mkdir,
+            Sigreturn => Sysno::Sigreturn,
+            Sleep { .. } => Sysno::Sleep,
+            RestProc { .. } => Sysno::RestProc,
+            GetpidReal => Sysno::GetpidReal,
+            GethostnameReal { .. } => Sysno::GethostnameReal,
+            Getwd { .. } => Sysno::Getwd,
         }
+    }
+
+    /// This call's trap-table row.
+    pub fn meta(&self) -> &'static sysdefs::SyscallMeta {
+        self.sysno().meta()
+    }
+
+    /// A short name for traces and statistics (from the trap table).
+    pub fn name(&self) -> &'static str {
+        self.meta().name
     }
 }
 

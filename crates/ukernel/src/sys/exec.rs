@@ -16,11 +16,10 @@ use simnet::NfsOp;
 use sysdefs::{Access, Errno, Pid, SysResult};
 use vfs::InodeKind;
 
-use crate::machine::MachineId;
 use crate::namei::{namei, FollowLast};
 use crate::proc::{Body, ProcState, VmBody};
 use crate::sys::args::{SysRetval, SyscallResult};
-use crate::world::World;
+use crate::sys::ctx::SysCtx;
 
 fn done(r: SysResult<SysRetval>) -> SyscallResult {
     SyscallResult::Done(match r {
@@ -31,23 +30,16 @@ fn done(r: SysResult<SysRetval>) -> SyscallResult {
 
 /// Reads a whole file through the namespace, charging namei plus the
 /// image transfer (disk locally, NFS reads remotely).
-pub(crate) fn slurp(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    path: &str,
-    want_exec: bool,
-) -> SysResult<Vec<u8>> {
-    let cred = w.cred_of(mid, pid)?;
-    let cwd = w.cwd_of(mid, pid)?;
-    let res = namei(w, mid, &cred, cwd, path, FollowLast::Yes)?;
-    let cold = w
-        .machine_mut(mid)
-        .touch_path(&format!("slurp:{mid}:{path}"));
-    let c = w.config.cost.namei(res.components, cold);
-    w.charge(mid, pid, c);
+pub(crate) fn slurp(cx: &mut SysCtx<'_>, path: &str, want_exec: bool) -> SysResult<Vec<u8>> {
+    let mid = cx.mid;
+    let cred = cx.cred()?;
+    let cwd = cx.cwd()?;
+    let res = namei(cx.w, mid, &cred, cwd, path, FollowLast::Yes)?;
+    let cold = cx.machine_mut().touch_path(&format!("slurp:{mid}:{path}"));
+    let c = cx.cost().namei(res.components, cold);
+    cx.charge(c);
     let fref = res.fref;
-    let node = w.machine(fref.machine).fs.inode(fref.ino)?;
+    let node = cx.w.machine(fref.machine).fs.inode(fref.ino)?;
     let data = match &node.kind {
         InodeKind::Regular(bytes) => {
             if want_exec && !node.mode.allows(&cred, node.uid, node.gid, Access::Exec) {
@@ -62,14 +54,14 @@ pub(crate) fn slurp(
         _ => return Err(Errno::EACCES),
     };
     if fref.machine == mid {
-        let c = w.config.cost.disk_read(data.len());
-        w.charge(mid, pid, c);
+        let c = cx.cost().disk_read(data.len());
+        cx.charge(c);
     } else {
         // NFS moves the image in 8 KB reads.
         let mut left = data.len();
         while left > 0 {
             let chunk = left.min(8192);
-            w.charge_rpc(mid, pid, NfsOp::Read(chunk));
+            cx.charge_rpc(NfsOp::Read(chunk));
             left -= chunk;
         }
     }
@@ -77,13 +69,13 @@ pub(crate) fn slurp(
 }
 
 /// The shared overlay: parse, check ISA, build the new body.
-fn overlay(w: &mut World, mid: MachineId, pid: Pid, image: &[u8], comm: &str) -> SysResult<()> {
+fn overlay(cx: &mut SysCtx<'_>, image: &[u8], comm: &str) -> SysResult<()> {
     let exe = parse_executable(image).map_err(|_| Errno::ENOEXEC)?;
     let isa_required = exe.isa();
     // §7: "Processes can be migrated to a similar CPU or to one whose
     // instruction set is a superset of that of the original machine."
     // The loader enforces the same rule for plain execution.
-    if !w.machine(mid).isa.supports(isa_required) {
+    if !cx.machine().isa.supports(isa_required) {
         return Err(Errno::ENOEXEC);
     }
     let mut mem = exe.to_memory();
@@ -91,26 +83,27 @@ fn overlay(w: &mut World, mid: MachineId, pid: Pid, image: &[u8], comm: &str) ->
     // The §5.2 modified execve: exact initial stack when the migration
     // flag is set, empty stack otherwise.
     let (mig, stack) = {
-        let m = w.machine(mid);
+        let m = cx.machine();
         (m.exec_mig_flag, m.exec_mig_stack.clone())
     };
     if mig {
         let sp = mem.restore_stack(&stack).ok_or(Errno::ENOMEM)?;
         cpu.a[7] = sp;
     }
-    let c = w.config.cost.exec_base();
-    w.charge(mid, pid, c);
+    let c = cx.cost().exec_base();
+    cx.charge(c);
     // Text is write-protected, so decode it once here — at the only
     // place a VM body is born — rather than on every interpreted step.
     // The cache is keyed to the hosting machine's ISA level (the level
     // the live decoder would enforce), not the executable's requirement.
-    let icache = if w.config.use_icache {
-        let level = w.machine(mid).isa;
+    let icache = if cx.w.config.use_icache {
+        let level = cx.machine().isa;
         Some(std::sync::Arc::new(m68vm::ICache::build(mem.text(), level)))
     } else {
         None
     };
-    let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+    let pid = cx.pid;
+    let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
     p.body = Body::Vm(VmBody {
         cpu,
         mem,
@@ -122,7 +115,7 @@ fn overlay(w: &mut World, mid: MachineId, pid: Pid, image: &[u8], comm: &str) ->
     p.restart_pc = None;
     p.state = ProcState::Runnable;
     p.comm = comm.to_string();
-    let m = w.machine_mut(mid);
+    let m = cx.machine_mut();
     m.stats.execs += 1;
     m.make_runnable(pid);
     Ok(())
@@ -133,16 +126,17 @@ fn overlay(w: &mut World, mid: MachineId, pid: Pid, image: &[u8], comm: &str) ->
 /// On success the calling image is destroyed, so the dispatcher sees
 /// [`SyscallResult::Gone`]; a native caller's thread is unwound by the
 /// `overlaid` reply.
-pub fn sys_execve(w: &mut World, mid: MachineId, pid: Pid, path: &str) -> SyscallResult {
-    let (t0, c0) = call_entry(w, mid, pid);
-    let image = match slurp(w, mid, pid, path, true) {
+pub fn sys_execve(cx: &mut SysCtx<'_>, path: &str) -> SyscallResult {
+    let (t0, c0) = call_entry(cx);
+    let image = match slurp(cx, path, true) {
         Ok(i) => i,
         Err(e) => return done(Err(e)),
     };
     let comm = path.rsplit('/').next().unwrap_or(path).to_string();
-    match overlay(w, mid, pid, &image, &comm) {
+    match overlay(cx, &image, &comm) {
         Ok(()) => {
-            w.machine_mut(mid).last_execve = Some(call_exit(w, mid, pid, t0, c0));
+            let timing = call_exit(cx, t0, c0);
+            cx.machine_mut().last_execve = Some(timing);
             SyscallResult::Gone
         }
         Err(e) => done(Err(e)),
@@ -150,28 +144,20 @@ pub fn sys_execve(w: &mut World, mid: MachineId, pid: Pid, path: &str) -> Syscal
 }
 
 /// Snapshot of (machine clock, process CPU) at the start of a timed call.
-fn call_entry(w: &World, mid: MachineId, pid: Pid) -> (simtime::SimTime, simtime::SimDuration) {
-    let now = w.machine(mid).now;
-    let cpu = w
-        .proc_ref(mid, pid)
-        .map(|p| p.cpu_time())
-        .unwrap_or_default();
+fn call_entry(cx: &SysCtx<'_>) -> (simtime::SimTime, simtime::SimDuration) {
+    let now = cx.machine().now;
+    let cpu = cx.proc_ref().map(|p| p.cpu_time()).unwrap_or_default();
     (now, cpu)
 }
 
 /// The paper's in-kernel timing code: elapsed real and CPU since entry.
 fn call_exit(
-    w: &World,
-    mid: MachineId,
-    pid: Pid,
+    cx: &SysCtx<'_>,
     t0: simtime::SimTime,
     c0: simtime::SimDuration,
 ) -> crate::machine::CallTiming {
-    let now = w.machine(mid).now;
-    let cpu = w
-        .proc_ref(mid, pid)
-        .map(|p| p.cpu_time())
-        .unwrap_or_default();
+    let now = cx.machine().now;
+    let cpu = cx.proc_ref().map(|p| p.cpu_time()).unwrap_or_default();
     crate::machine::CallTiming {
         cpu: cpu.saturating_sub(c0),
         real: now.since(t0),
@@ -181,28 +167,26 @@ fn call_exit(
 /// **`rest_proc(2)`**, the paper's addition, following §5.2 to the
 /// letter.
 pub fn sys_rest_proc(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
+    cx: &mut SysCtx<'_>,
     aout_path: &str,
     stack_path: &str,
     old_pid: Option<u32>,
     old_host: Option<&str>,
 ) -> SyscallResult {
-    let (t0, c0) = call_entry(w, mid, pid);
+    let (t0, c0) = call_entry(cx);
     // What the calling application (restart) spent before reaching the
     // kernel: its whole life so far.
-    if let Some(p) = w.proc_ref(mid, pid) {
+    if let Some(p) = cx.proc_ref() {
         let started = p.start_time;
         let caller = crate::machine::CallTiming {
             cpu: p.cpu_time(),
             real: t0.since(started),
         };
-        w.machine_mut(mid).last_rest_caller = Some(caller);
+        cx.machine_mut().last_rest_caller = Some(caller);
     }
     // 1. "It opens the stackXXXXX file, checking access permissions and
     //    verifying its format by checking the magic number."
-    let stack_bytes = match slurp(w, mid, pid, stack_path, false) {
+    let stack_bytes = match slurp(cx, stack_path, false) {
         Ok(b) => b,
         Err(e) => return done(Err(e)),
     };
@@ -216,7 +200,7 @@ pub fn sys_rest_proc(
     // below ("The old credentials were used to execute the a.outXXXXX
     // file, so that only the owner of the process or the superuser is
     // able to do it").
-    let caller_cred = match w.cred_of(mid, pid) {
+    let caller_cred = match cx.cred() {
         Ok(c) => c,
         Err(e) => return done(Err(e)),
     };
@@ -226,25 +210,25 @@ pub fn sys_rest_proc(
     // 3. "Sets the global flag indicating process migration and sets the
     //    variable that indicates the desired stack size."
     {
-        let m = w.machine_mut(mid);
+        let m = cx.machine_mut();
         m.exec_mig_flag = true;
         m.exec_mig_stack = stack_file.stack.clone();
     }
     // 4. "Calls execve() to execute the a.outXXXXX file, with the
     //    environment set to null."
     let result = (|| -> SysResult<()> {
-        let image = slurp(w, mid, pid, aout_path, true)?;
+        let image = slurp(cx, aout_path, true)?;
         let comm = aout_path
             .rsplit('/')
             .next()
             .unwrap_or(aout_path)
             .to_string();
-        overlay(w, mid, pid, &image, &comm)
+        overlay(cx, &image, &comm)
     })();
     // 5. "Resets the variable indicating process migration, so that
     //    further calls to execve() will work properly."
     {
-        let m = w.machine_mut(mid);
+        let m = cx.machine_mut();
         m.exec_mig_flag = false;
         m.exec_mig_stack.clear();
     }
@@ -257,8 +241,8 @@ pub fn sys_rest_proc(
     //    registers are restored here.)
     // 8. "Reads in the information on the disposition of signals."
     {
-        let virtualize = w.config.virtualize_ids;
-        let p = w.proc_mut(mid, pid).expect("just overlaid");
+        let virtualize = cx.w.config.virtualize_ids;
+        let p = cx.proc_mut().expect("just overlaid");
         p.user.cred = stack_file.cred.clone();
         if let Body::Vm(vm) = &mut p.body {
             vm.cpu = Cpu::from_regs(&stack_file.regs);
@@ -271,15 +255,15 @@ pub fn sys_rest_proc(
             p.user.old_host = old_host.map(str::to_string);
         }
     }
-    w.machine_mut(mid).stats.restores += 1;
-    let timing = call_exit(w, mid, pid, t0, c0);
-    w.machine_mut(mid).last_rest_proc = Some(timing);
+    cx.machine_mut().stats.restores += 1;
+    let timing = call_exit(cx, t0, c0);
+    cx.machine_mut().last_rest_proc = Some(timing);
     let comm = aout_path
         .rsplit('/')
         .next()
         .unwrap_or(aout_path)
         .to_string();
-    w.overlaid.insert((mid, pid.as_u32()), comm);
+    cx.w.overlaid.insert((cx.mid, cx.pid.as_u32()), comm);
     // 9. "Returns. At this point, the process running is a copy of the
     //    old process."
     SyscallResult::Gone

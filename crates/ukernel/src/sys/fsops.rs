@@ -12,13 +12,11 @@ use sysdefs::{Access, Errno, FileMode, OpenFlags, Signal, SysResult};
 use vfs::{path as vpath, DeviceId, InodeKind};
 
 use crate::file::{FileKind, FileStruct};
-use crate::machine::MachineId;
 use crate::namei::{namei, FollowLast, Resolved};
 use crate::proc::ProcState;
 use crate::sys::args::{IoctlReq, SysRetval, SyscallResult, Whence};
+use crate::sys::ctx::SysCtx;
 use crate::user::FileRef;
-use crate::world::World;
-use sysdefs::Pid;
 
 fn done(r: SysResult<SysRetval>) -> SyscallResult {
     SyscallResult::Done(match r {
@@ -39,42 +37,40 @@ fn split_parent(arg: &str) -> (String, String) {
 
 /// Charges a resolution: CPU per component, disk for cold paths, one RPC
 /// per remote lookup.
-fn charge_namei(w: &mut World, mid: MachineId, pid: Pid, res: &Resolved, cache_key: &str) {
-    let cold = w.machine_mut(mid).touch_path(cache_key);
-    let c = w.config.cost.namei(res.components, cold);
-    w.charge(mid, pid, c);
+fn charge_namei(cx: &mut SysCtx<'_>, res: &Resolved, cache_key: &str) {
+    let cold = cx.machine_mut().touch_path(cache_key);
+    let c = cx.cost().namei(res.components, cold);
+    cx.charge(c);
     for _ in 0..res.remote_lookups {
-        w.charge_rpc(mid, pid, NfsOp::Lookup);
+        cx.charge_rpc(NfsOp::Lookup);
     }
 }
 
 /// The §5.1 open-file name bookkeeping: allocate, combine and copy.
-fn record_file_name(w: &mut World, mid: MachineId, pid: Pid, idx: usize, arg: &str) {
-    if !w.config.track_names {
+fn record_file_name(cx: &mut SysCtx<'_>, idx: usize, arg: &str) {
+    if !cx.w.config.track_names {
         return;
     }
-    let abs = w.abs_guess(mid, pid, arg);
-    let mut cost = w.config.cost.kernel_malloc();
+    let abs = cx.abs_guess(arg);
+    let mut cost = cx.cost().kernel_malloc();
     if !vpath::is_absolute(arg) {
-        cost = cost.plus(w.config.cost.path_combine());
+        cost = cost.plus(cx.cost().path_combine());
     }
     if let Some(abs) = abs {
-        cost = cost.plus(w.config.cost.copy_bytes(abs.len() + 1));
-        let fixed = w.config.fixed_name_strings;
-        let m = w.machine_mut(mid);
+        cost = cost.plus(cx.cost().copy_bytes(abs.len() + 1));
+        let fixed = cx.w.config.fixed_name_strings;
+        let m = cx.machine_mut();
         if let Some(f) = m.files.get_mut(idx) {
             f.path = Some(abs);
         }
         m.note_name_bytes(fixed);
     }
-    w.charge(mid, pid, cost);
+    cx.charge(cost);
 }
 
 /// `open(2)` / the open half of `creat(2)`.
 pub fn sys_open(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
+    cx: &mut SysCtx<'_>,
     arg: &str,
     flags_bits: u16,
     mode: u16,
@@ -90,50 +86,50 @@ pub fn sys_open(
         }
         Err(e) => return done(Err(e)),
     };
-    done(open_common(w, mid, pid, arg, flags, mode))
+    done(open_common(cx, arg, flags, mode))
 }
 
 /// `creat(2)`: "simply calls the same internal routine that open()
 /// calls, with slightly different arguments".
-pub fn sys_creat(w: &mut World, mid: MachineId, pid: Pid, arg: &str, mode: u16) -> SyscallResult {
-    sys_open(w, mid, pid, arg, 0, mode, true)
+pub fn sys_creat(cx: &mut SysCtx<'_>, arg: &str, mode: u16) -> SyscallResult {
+    sys_open(cx, arg, 0, mode, true)
 }
 
 fn open_common(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
+    cx: &mut SysCtx<'_>,
     arg: &str,
     flags: OpenFlags,
     mode: u16,
 ) -> SysResult<SysRetval> {
-    let cred = w.cred_of(mid, pid)?;
-    let cwd = w.cwd_of(mid, pid)?;
-    let abs_guess = w.abs_guess(mid, pid, arg);
+    let mid = cx.mid;
+    let cred = cx.cred()?;
+    let cwd = cx.cwd()?;
+    let abs_guess = cx.abs_guess(arg);
     let cache_key = format!("{mid}:{}:{}:{arg}", cwd.machine, cwd.ino);
+    cx.copied_in(arg.len() + 1);
 
     // "/dev/tty" names the controlling terminal, whichever it is — the
     // rewrite target dumpproc uses for terminal files.
     if abs_guess.as_deref() == Some("/dev/tty") || arg == "/dev/tty" {
-        let tty = w
-            .proc_ref(mid, pid)
+        let tty = cx
+            .proc_ref()
             .and_then(|p| p.user.tty)
             .ok_or(Errno::ENXIO)?;
-        let idx = w
-            .machine_mut(mid)
+        let idx = cx
+            .machine_mut()
             .files
             .insert(FileStruct::new(FileKind::Device(DeviceId::Tty(tty)), flags));
-        let fd = install_fd(w, mid, pid, idx)?;
-        let c = w.config.cost.file_struct_op();
-        w.charge(mid, pid, c);
-        record_file_name(w, mid, pid, idx, "/dev/tty");
+        let fd = install_fd(cx, idx)?;
+        let c = cx.cost().file_struct_op();
+        cx.charge(c);
+        record_file_name(cx, idx, "/dev/tty");
         return Ok(SysRetval::ok(fd as u32));
     }
 
-    let resolved = namei(w, mid, &cred, cwd, arg, FollowLast::Yes);
+    let resolved = namei(cx.w, mid, &cred, cwd, arg, FollowLast::Yes);
     let (fref, created) = match resolved {
         Ok(res) => {
-            charge_namei(w, mid, pid, &res, &cache_key);
+            charge_namei(cx, &res, &cache_key);
             if flags.creat() && flags.excl() {
                 return Err(Errno::EEXIST);
             }
@@ -141,18 +137,18 @@ fn open_common(
         }
         Err(Errno::ENOENT) if flags.creat() => {
             let (parent_arg, name) = split_parent(arg);
-            let parent = namei(w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
-            charge_namei(w, mid, pid, &parent, &format!("{cache_key}#parent"));
-            let ino = w.fs_mut(parent.fref.machine).create_file(
+            let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
+            charge_namei(cx, &parent, &format!("{cache_key}#parent"));
+            let ino = cx.w.fs_mut(parent.fref.machine).create_file(
                 parent.fref.ino,
                 &name,
                 FileMode(mode),
                 &cred,
             )?;
-            let c = w.config.cost.disk_create();
-            w.charge(mid, pid, c);
+            let c = cx.cost().disk_create();
+            cx.charge(c);
             if parent.fref.machine != mid {
-                w.charge_rpc(mid, pid, NfsOp::Create);
+                cx.charge_rpc(NfsOp::Create);
             }
             (
                 FileRef {
@@ -167,7 +163,7 @@ fn open_common(
 
     // Kind and permission checks on the resolved inode.
     let kind = {
-        let fs = &w.machine(fref.machine).fs;
+        let fs = &cx.w.machine(fref.machine).fs;
         let node = fs.inode(fref.ino)?;
         match &node.kind {
             InodeKind::Directory(_) => return Err(Errno::EISDIR),
@@ -200,33 +196,33 @@ fn open_common(
 
     if flags.trunc() && !created {
         if let FileKind::Local(ino) | FileKind::Remote { ino, .. } = kind {
-            w.fs_mut(fref.machine).truncate(ino)?;
+            cx.w.fs_mut(fref.machine).truncate(ino)?;
             if fref.machine != mid {
-                w.charge_rpc(mid, pid, NfsOp::Setattr);
+                cx.charge_rpc(NfsOp::Setattr);
             }
         }
     }
 
-    let idx = w
-        .machine_mut(mid)
+    let idx = cx
+        .machine_mut()
         .files
         .insert(FileStruct::new(kind, flags));
-    let fd = match install_fd(w, mid, pid, idx) {
+    let fd = match install_fd(cx, idx) {
         Ok(fd) => fd,
         Err(e) => {
-            w.machine_mut(mid).files.decref(idx);
+            cx.machine_mut().files.decref(idx);
             return Err(e);
         }
     };
-    let c = w.config.cost.file_struct_op();
-    w.charge(mid, pid, c);
-    record_file_name(w, mid, pid, idx, arg);
+    let c = cx.cost().file_struct_op();
+    cx.charge(c);
+    record_file_name(cx, idx, arg);
     Ok(SysRetval::ok(fd as u32))
 }
 
 /// Puts a file-table index into the lowest free descriptor.
-fn install_fd(w: &mut World, mid: MachineId, pid: Pid, idx: usize) -> SysResult<usize> {
-    let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+fn install_fd(cx: &mut SysCtx<'_>, idx: usize) -> SysResult<usize> {
+    let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
     let fd = p.user.lowest_free_fd().ok_or(Errno::EMFILE)?;
     p.user.fds[fd] = Some(idx);
     Ok(fd)
@@ -234,39 +230,34 @@ fn install_fd(w: &mut World, mid: MachineId, pid: Pid, idx: usize) -> SysResult<
 
 /// `close(2)`: releases the descriptor and, per §5.1, frees the name
 /// string through the kernel allocator on the last reference.
-pub fn sys_close(w: &mut World, mid: MachineId, pid: Pid, fd: usize) -> SyscallResult {
-    done(close_common(w, mid, pid, fd))
+pub fn sys_close(cx: &mut SysCtx<'_>, fd: usize) -> SyscallResult {
+    done(close_common(cx, fd))
 }
 
-pub(crate) fn close_common(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    fd: usize,
-) -> SysResult<SysRetval> {
+pub(crate) fn close_common(cx: &mut SysCtx<'_>, fd: usize) -> SysResult<SysRetval> {
     let idx = {
-        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
         let slot = p.user.fds.get_mut(fd).ok_or(Errno::EBADF)?;
         slot.take().ok_or(Errno::EBADF)?
     };
-    let mut cost = w.config.cost.file_struct_op();
-    let freed = w.machine_mut(mid).files.decref(idx);
+    let mut cost = cx.cost().file_struct_op();
+    let freed = cx.machine_mut().files.decref(idx);
     if let Some(f) = freed {
         if f.path.is_some() {
-            cost = cost.plus(w.config.cost.kernel_free());
+            cost = cost.plus(cx.cost().kernel_free());
         }
         if f.flags.writable() && matches!(f.kind, FileKind::Local(_) | FileKind::Remote { .. }) {
-            cost = cost.plus(w.config.cost.disk_sync_close());
+            cost = cost.plus(cx.cost().disk_sync_close());
         }
-        release_kind(w, mid, &f.kind);
+        release_kind(cx, &f.kind);
     }
-    w.charge(mid, pid, cost);
+    cx.charge(cost);
     Ok(SysRetval::ok(0))
 }
 
 /// Drops pipe/socket end references when the last descriptor closes.
-fn release_kind(w: &mut World, mid: MachineId, kind: &FileKind) {
-    let m = w.machine_mut(mid);
+fn release_kind(cx: &mut SysCtx<'_>, kind: &FileKind) {
+    let m = cx.machine_mut();
     match kind {
         FileKind::Pipe { id, write_end } => {
             if let Some(Some(p)) = m.pipes.get_mut(*id) {
@@ -295,13 +286,13 @@ fn release_kind(w: &mut World, mid: MachineId, kind: &FileKind) {
 }
 
 /// `read(2)`, with terminal and pipe blocking.
-pub fn sys_read(w: &mut World, mid: MachineId, pid: Pid, fd: usize, len: usize) -> SyscallResult {
-    let idx = match w.file_idx(mid, pid, fd) {
+pub fn sys_read(cx: &mut SysCtx<'_>, fd: usize, len: usize) -> SyscallResult {
+    let idx = match cx.file_idx(fd) {
         Ok(i) => i,
         Err(e) => return done(Err(e)),
     };
     let (kind, flags, offset) = {
-        let f = w.machine(mid).files.get(idx).expect("live file");
+        let f = cx.machine().files.get(idx).expect("live file");
         (f.kind.clone(), f.flags, f.offset)
     };
     if !flags.readable() {
@@ -310,15 +301,16 @@ pub fn sys_read(w: &mut World, mid: MachineId, pid: Pid, fd: usize, len: usize) 
     match kind {
         FileKind::Device(DeviceId::Null) => done(Ok(SysRetval::with_data(0, Vec::new()))),
         FileKind::Device(DeviceId::Tty(tty)) => {
-            let got = w.terminal(tty).with(|t| t.process_read(len));
+            let got = cx.w.terminal(tty).with(|t| t.process_read(len));
             match got {
                 Some(bytes) => {
-                    let c = w.config.cost.copy_bytes(bytes.len());
-                    w.charge(mid, pid, c);
+                    let c = cx.cost().copy_bytes(bytes.len());
+                    cx.charge(c);
+                    cx.copied_out(bytes.len());
                     done(Ok(SysRetval::with_data(bytes.len() as u32, bytes)))
                 }
                 None => {
-                    if let Some(p) = w.proc_mut(mid, pid) {
+                    if let Some(p) = cx.proc_mut() {
                         p.state = ProcState::TtyWait { tty };
                     }
                     SyscallResult::Blocked
@@ -326,38 +318,40 @@ pub fn sys_read(w: &mut World, mid: MachineId, pid: Pid, fd: usize, len: usize) 
             }
         }
         FileKind::Local(ino) => {
-            let data = match w.machine(mid).fs.read(ino, offset, len) {
+            let data = match cx.machine().fs.read(ino, offset, len) {
                 Ok(d) => d,
                 Err(e) => return done(Err(e)),
             };
             let first = !std::mem::replace(
-                &mut w.machine_mut(mid).files.get_mut(idx).expect("live").touched,
+                &mut cx.machine_mut().files.get_mut(idx).expect("live").touched,
                 true,
             );
             let mut cost = Cost::cpu_us((data.len() / 8) as u64);
             if first {
-                cost = cost.plus(w.config.cost.disk_read(data.len().max(512)));
+                cost = cost.plus(cx.cost().disk_read(data.len().max(512)));
             }
-            w.charge(mid, pid, cost);
-            w.machine_mut(mid).files.get_mut(idx).expect("live").offset += data.len() as u64;
+            cx.charge(cost);
+            cx.copied_out(data.len());
+            cx.machine_mut().files.get_mut(idx).expect("live").offset += data.len() as u64;
             done(Ok(SysRetval::with_data(data.len() as u32, data)))
         }
         FileKind::Remote { host, ino } => {
-            let data = match w.machine(host).fs.read(ino, offset, len) {
+            let data = match cx.w.machine(host).fs.read(ino, offset, len) {
                 Ok(d) => d,
                 Err(e) => return done(Err(e)),
             };
-            w.charge_rpc(mid, pid, NfsOp::Read(data.len()));
-            w.machine_mut(mid).files.get_mut(idx).expect("live").offset += data.len() as u64;
+            cx.charge_rpc(NfsOp::Read(data.len()));
+            cx.copied_out(data.len());
+            cx.machine_mut().files.get_mut(idx).expect("live").offset += data.len() as u64;
             done(Ok(SysRetval::with_data(data.len() as u32, data)))
         }
         FileKind::Pipe { id, write_end } => {
             if write_end {
                 return done(Err(Errno::EBADF));
             }
-            read_queue(w, mid, pid, len, QueueRef::Pipe(id))
+            read_queue(cx, len, QueueRef::Pipe(id))
         }
-        FileKind::Socket { id, side } => read_queue(w, mid, pid, len, QueueRef::Socket(id, side)),
+        FileKind::Socket { id, side } => read_queue(cx, len, QueueRef::Socket(id, side)),
     }
 }
 
@@ -368,8 +362,8 @@ enum QueueRef {
     Socket(usize, usize),
 }
 
-fn read_queue(w: &mut World, mid: MachineId, pid: Pid, len: usize, q: QueueRef) -> SyscallResult {
-    let m = w.machine_mut(mid);
+fn read_queue(cx: &mut SysCtx<'_>, len: usize, q: QueueRef) -> SyscallResult {
+    let m = cx.machine_mut();
     let buf = match &q {
         QueueRef::Pipe(id) => m.pipes.get_mut(*id).and_then(|p| p.as_mut()),
         QueueRef::Socket(id, side) => m
@@ -385,15 +379,16 @@ fn read_queue(w: &mut World, mid: MachineId, pid: Pid, len: usize, q: QueueRef) 
         if buf.writers == 0 {
             return done(Ok(SysRetval::with_data(0, Vec::new()))); // EOF.
         }
-        if let Some(p) = w.proc_mut(mid, pid) {
+        if let Some(p) = cx.proc_mut() {
             p.state = ProcState::PipeWait;
         }
         return SyscallResult::Blocked;
     }
     let n = len.min(buf.data.len());
     let bytes: Vec<u8> = buf.data.drain(..n).collect();
-    let c = w.config.cost.copy_bytes(n);
-    w.charge(mid, pid, c);
+    let c = cx.cost().copy_bytes(n);
+    cx.charge(c);
+    cx.copied_out(n);
     done(Ok(SysRetval::with_data(n as u32, bytes)))
 }
 
@@ -401,50 +396,45 @@ fn read_queue(w: &mut World, mid: MachineId, pid: Pid, len: usize, q: QueueRef) 
 const PIPE_MAX: usize = 4096;
 
 /// `write(2)`.
-pub fn sys_write(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    fd: usize,
-    bytes: &[u8],
-) -> SyscallResult {
-    let idx = match w.file_idx(mid, pid, fd) {
+pub fn sys_write(cx: &mut SysCtx<'_>, fd: usize, bytes: &[u8]) -> SyscallResult {
+    let idx = match cx.file_idx(fd) {
         Ok(i) => i,
         Err(e) => return done(Err(e)),
     };
     let (kind, flags, offset) = {
-        let f = w.machine(mid).files.get(idx).expect("live file");
+        let f = cx.machine().files.get(idx).expect("live file");
         (f.kind.clone(), f.flags, f.offset)
     };
     if !flags.writable() {
         return done(Err(Errno::EBADF));
     }
+    cx.copied_in(bytes.len());
     match kind {
         FileKind::Device(DeviceId::Null) => done(Ok(SysRetval::ok(bytes.len() as u32))),
         FileKind::Device(DeviceId::Tty(tty)) => {
-            let n = w.terminal(tty).with(|t| t.process_write(bytes));
-            let c = w.config.cost.copy_bytes(n);
-            w.charge(mid, pid, c);
+            let n = cx.w.terminal(tty).with(|t| t.process_write(bytes));
+            let c = cx.cost().copy_bytes(n);
+            cx.charge(c);
             done(Ok(SysRetval::ok(n as u32)))
         }
         FileKind::Local(ino) => {
             let off = if flags.append() {
-                w.machine(mid).fs.file_len(ino).unwrap_or(offset)
+                cx.machine().fs.file_len(ino).unwrap_or(offset)
             } else {
                 offset
             };
-            match w.fs_mut(mid).write(ino, off, bytes) {
+            match cx.w.fs_mut(cx.mid).write(ino, off, bytes) {
                 Ok(n) => {
                     // Buffered write: copy CPU plus streaming disk time,
                     // no per-call seek (the sync happens at close).
                     let c = Cost {
                         cpu: simtime::SimDuration::micros((n / 8) as u64),
                         wait: simtime::SimDuration::micros(
-                            w.config.cost.disk_write_per_byte_us * n as u64,
+                            cx.cost().disk_write_per_byte_us * n as u64,
                         ),
                     };
-                    w.charge(mid, pid, c);
-                    w.machine_mut(mid).files.get_mut(idx).expect("live").offset = off + n as u64;
+                    cx.charge(c);
+                    cx.machine_mut().files.get_mut(idx).expect("live").offset = off + n as u64;
                     done(Ok(SysRetval::ok(n as u32)))
                 }
                 Err(e) => done(Err(e)),
@@ -452,14 +442,14 @@ pub fn sys_write(
         }
         FileKind::Remote { host, ino } => {
             let off = if flags.append() {
-                w.machine(host).fs.file_len(ino).unwrap_or(offset)
+                cx.w.machine(host).fs.file_len(ino).unwrap_or(offset)
             } else {
                 offset
             };
-            match w.fs_mut(host).write(ino, off, bytes) {
+            match cx.w.fs_mut(host).write(ino, off, bytes) {
                 Ok(n) => {
-                    w.charge_rpc(mid, pid, NfsOp::Write(n));
-                    w.machine_mut(mid).files.get_mut(idx).expect("live").offset = off + n as u64;
+                    cx.charge_rpc(NfsOp::Write(n));
+                    cx.machine_mut().files.get_mut(idx).expect("live").offset = off + n as u64;
                     done(Ok(SysRetval::ok(n as u32)))
                 }
                 Err(e) => done(Err(e)),
@@ -469,22 +459,14 @@ pub fn sys_write(
             if !write_end {
                 return done(Err(Errno::EBADF));
             }
-            write_queue(w, mid, pid, bytes, QueueRef::Pipe(id))
+            write_queue(cx, bytes, QueueRef::Pipe(id))
         }
-        FileKind::Socket { id, side } => {
-            write_queue(w, mid, pid, bytes, QueueRef::Socket(id, side))
-        }
+        FileKind::Socket { id, side } => write_queue(cx, bytes, QueueRef::Socket(id, side)),
     }
 }
 
-fn write_queue(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    bytes: &[u8],
-    q: QueueRef,
-) -> SyscallResult {
-    let m = w.machine_mut(mid);
+fn write_queue(cx: &mut SysCtx<'_>, bytes: &[u8], q: QueueRef) -> SyscallResult {
+    let m = cx.machine_mut();
     let buf = match &q {
         QueueRef::Pipe(id) => m.pipes.get_mut(*id).and_then(|p| p.as_mut()),
         // We *write* our own out-buffer: bufs[side].
@@ -498,43 +480,36 @@ fn write_queue(
         return done(Err(Errno::EBADF));
     };
     if buf.readers == 0 {
-        if let Some(p) = w.proc_mut(mid, pid) {
+        if let Some(p) = cx.proc_mut() {
             p.post_signal(Signal::SIGPIPE);
         }
         return done(Err(Errno::EPIPE));
     }
     if buf.data.len() + bytes.len() > PIPE_MAX {
-        if let Some(p) = w.proc_mut(mid, pid) {
+        if let Some(p) = cx.proc_mut() {
             p.state = ProcState::PipeWait;
         }
         return SyscallResult::Blocked;
     }
     buf.data.extend(bytes.iter().copied());
-    let c = w.config.cost.copy_bytes(bytes.len());
-    w.charge(mid, pid, c);
+    let c = cx.cost().copy_bytes(bytes.len());
+    cx.charge(c);
     done(Ok(SysRetval::ok(bytes.len() as u32)))
 }
 
 /// `lseek(2)`.
-pub fn sys_lseek(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    fd: usize,
-    offset: i64,
-    whence: Whence,
-) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_lseek(cx: &mut SysCtx<'_>, fd: usize, offset: i64, whence: Whence) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
-        let idx = w.file_idx(mid, pid, fd)?;
+        let idx = cx.file_idx(fd)?;
         let (kind, cur) = {
-            let f = w.machine(mid).files.get(idx).expect("live file");
+            let f = cx.machine().files.get(idx).expect("live file");
             (f.kind.clone(), f.offset)
         };
         let size = match kind {
-            FileKind::Local(ino) => w.machine(mid).fs.file_len(ino)?,
-            FileKind::Remote { host, ino } => w.machine(host).fs.file_len(ino)?,
+            FileKind::Local(ino) => cx.machine().fs.file_len(ino)?,
+            FileKind::Remote { host, ino } => cx.w.machine(host).fs.file_len(ino)?,
             FileKind::Device(_) => 0,
             FileKind::Pipe { .. } | FileKind::Socket { .. } => return Err(Errno::ESPIPE),
         };
@@ -547,24 +522,24 @@ pub fn sys_lseek(
         if new < 0 {
             return Err(Errno::EINVAL);
         }
-        w.machine_mut(mid).files.get_mut(idx).expect("live").offset = new as u64;
+        cx.machine_mut().files.get_mut(idx).expect("live").offset = new as u64;
         Ok(SysRetval::ok(new as u32))
     })())
 }
 
 /// `dup(2)`.
-pub fn sys_dup(w: &mut World, mid: MachineId, pid: Pid, fd: usize) -> SyscallResult {
+pub fn sys_dup(cx: &mut SysCtx<'_>, fd: usize) -> SyscallResult {
     done((|| {
-        let idx = w.file_idx(mid, pid, fd)?;
-        w.machine_mut(mid).files.incref(idx);
-        match install_fd(w, mid, pid, idx) {
+        let idx = cx.file_idx(fd)?;
+        cx.machine_mut().files.incref(idx);
+        match install_fd(cx, idx) {
             Ok(new_fd) => {
-                let c = w.config.cost.file_struct_op();
-                w.charge(mid, pid, c);
+                let c = cx.cost().file_struct_op();
+                cx.charge(c);
                 Ok(SysRetval::ok(new_fd as u32))
             }
             Err(e) => {
-                w.machine_mut(mid).files.decref(idx);
+                cx.machine_mut().files.decref(idx);
                 Err(e)
             }
         }
@@ -575,10 +550,10 @@ pub fn sys_dup(w: &mut World, mid: MachineId, pid: Pid, fd: usize) -> SyscallRes
 ///
 /// Returns the read (or side-0) descriptor in the low half of the value
 /// and the write (or side-1) descriptor in the high half.
-pub fn sys_pipe(w: &mut World, mid: MachineId, pid: Pid, as_socket: bool) -> SyscallResult {
+pub fn sys_pipe(cx: &mut SysCtx<'_>, as_socket: bool) -> SyscallResult {
     done((|| {
         let (kind0, kind1) = if as_socket {
-            let m = w.machine_mut(mid);
+            let m = cx.machine_mut();
             let id = m.sockets.len();
             let mut pair = crate::machine::SocketPair::default();
             for b in &mut pair.bufs {
@@ -591,7 +566,7 @@ pub fn sys_pipe(w: &mut World, mid: MachineId, pid: Pid, as_socket: bool) -> Sys
                 FileKind::Socket { id, side: 1 },
             )
         } else {
-            let m = w.machine_mut(mid);
+            let m = cx.machine_mut();
             let id = m.pipes.len();
             m.pipes.push(Some(crate::machine::PipeBuf {
                 data: Default::default(),
@@ -619,59 +594,49 @@ pub fn sys_pipe(w: &mut World, mid: MachineId, pid: Pid, as_socket: bool) -> Sys
         } else {
             OpenFlags::WRONLY
         };
-        let idx0 = w
-            .machine_mut(mid)
+        let idx0 = cx
+            .machine_mut()
             .files
             .insert(FileStruct::new(kind0, flags0));
-        let idx1 = w
-            .machine_mut(mid)
+        let idx1 = cx
+            .machine_mut()
             .files
             .insert(FileStruct::new(kind1, flags1));
-        let fd0 = install_fd(w, mid, pid, idx0)?;
-        let fd1 = match install_fd(w, mid, pid, idx1) {
+        let fd0 = install_fd(cx, idx0)?;
+        let fd1 = match install_fd(cx, idx1) {
             Ok(f) => f,
             Err(e) => {
-                if let Some(p) = w.proc_mut(mid, pid) {
+                if let Some(p) = cx.proc_mut() {
                     p.user.fds[fd0] = None;
                 }
-                w.machine_mut(mid).files.decref(idx0);
-                w.machine_mut(mid).files.decref(idx1);
+                cx.machine_mut().files.decref(idx0);
+                cx.machine_mut().files.decref(idx1);
                 return Err(e);
             }
         };
-        let c = w
-            .config
-            .cost
-            .file_struct_op()
-            .plus(w.config.cost.file_struct_op());
-        w.charge(mid, pid, c);
+        let c = cx.cost().file_struct_op().plus(cx.cost().file_struct_op());
+        cx.charge(c);
         Ok(SysRetval::ok((fd0 as u32) | ((fd1 as u32) << 16)))
     })())
 }
 
 /// `ioctl(2)`: terminal mode get/set.
-pub fn sys_ioctl(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    fd: usize,
-    req: IoctlReq,
-) -> SyscallResult {
+pub fn sys_ioctl(cx: &mut SysCtx<'_>, fd: usize, req: IoctlReq) -> SyscallResult {
     done((|| {
-        let idx = w.file_idx(mid, pid, fd)?;
-        let kind = w.machine(mid).files.get(idx).expect("live").kind.clone();
+        let idx = cx.file_idx(fd)?;
+        let kind = cx.machine().files.get(idx).expect("live").kind.clone();
         let FileKind::Device(DeviceId::Tty(tty)) = kind else {
             return Err(Errno::ENOTTY);
         };
         let c = Cost::cpu_us(200);
-        w.charge(mid, pid, c);
+        cx.charge(c);
         match req {
             IoctlReq::Gtty => {
-                let flags = w.terminal(tty).with(|t| t.gtty());
+                let flags = cx.w.terminal(tty).with(|t| t.gtty());
                 Ok(SysRetval::ok(flags.bits() as u32))
             }
             IoctlReq::Stty(flags) => {
-                w.terminal(tty).with(|t| t.stty(flags));
+                cx.w.terminal(tty).with(|t| t.stty(flags));
                 Ok(SysRetval::ok(0))
             }
         }
@@ -679,16 +644,17 @@ pub fn sys_ioctl(
 }
 
 /// `chdir(2)`, carrying the paper's cwd-string maintenance.
-pub fn sys_chdir(w: &mut World, mid: MachineId, pid: Pid, arg: &str) -> SyscallResult {
+pub fn sys_chdir(cx: &mut SysCtx<'_>, arg: &str) -> SyscallResult {
     done((|| {
-        let cred = w.cred_of(mid, pid)?;
-        let cwd = w.cwd_of(mid, pid)?;
+        let mid = cx.mid;
+        let cred = cx.cred()?;
+        let cwd = cx.cwd()?;
         let cache_key = format!("{mid}:{}:{}:{arg}", cwd.machine, cwd.ino);
-        let res = namei(w, mid, &cred, cwd, arg, FollowLast::Yes)?;
-        if !w.machine(res.fref.machine).fs.inode(res.fref.ino)?.is_dir() {
+        let res = namei(cx.w, mid, &cred, cwd, arg, FollowLast::Yes)?;
+        if !cx.w.machine(res.fref.machine).fs.inode(res.fref.ino)?.is_dir() {
             return Err(Errno::ENOTDIR);
         }
-        charge_namei(w, mid, pid, &res, &cache_key);
+        charge_namei(cx, &res, &cache_key);
 
         // §5.1: "After each successful call to chdir() ... if the
         // argument ... is an absolute path name, it is simply copied to
@@ -696,8 +662,8 @@ pub fn sys_chdir(w: &mut World, mid: MachineId, pid: Pid, arg: &str) -> SyscallR
         // combined with the value of the old current working directory
         // ... with the updating procedure being skipped if the field has
         // not been yet initialised."
-        if w.config.track_names {
-            let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        if cx.w.config.track_names {
+            let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
             let new_path = if vpath::is_absolute(arg) {
                 Some(vpath::normalize(arg))
             } else {
@@ -709,15 +675,15 @@ pub fn sys_chdir(w: &mut World, mid: MachineId, pid: Pid, arg: &str) -> SyscallR
             let mut cost = Cost::ZERO;
             if let Some(np) = new_path {
                 cost = cost
-                    .plus(w.config.cost.path_combine())
-                    .plus(w.config.cost.copy_bytes(np.len() + 1));
-                if let Some(p) = w.proc_mut(mid, pid) {
+                    .plus(cx.cost().path_combine())
+                    .plus(cx.cost().copy_bytes(np.len() + 1));
+                if let Some(p) = cx.proc_mut() {
                     p.user.cwd_path = Some(np);
                 }
             }
-            w.charge(mid, pid, cost);
+            cx.charge(cost);
         }
-        if let Some(p) = w.proc_mut(mid, pid) {
+        if let Some(p) = cx.proc_mut() {
             p.user.cwd = res.fref;
         }
         Ok(SysRetval::ok(0))
@@ -725,122 +691,121 @@ pub fn sys_chdir(w: &mut World, mid: MachineId, pid: Pid, arg: &str) -> SyscallR
 }
 
 /// `stat(2)`, reduced to the size query the utilities need.
-pub fn sys_stat(w: &mut World, mid: MachineId, pid: Pid, arg: &str) -> SyscallResult {
+pub fn sys_stat(cx: &mut SysCtx<'_>, arg: &str) -> SyscallResult {
     done((|| {
-        let cred = w.cred_of(mid, pid)?;
-        let cwd = w.cwd_of(mid, pid)?;
+        let mid = cx.mid;
+        let cred = cx.cred()?;
+        let cwd = cx.cwd()?;
         let cache_key = format!("{mid}:{}:{}:{arg}", cwd.machine, cwd.ino);
-        let res = namei(w, mid, &cred, cwd, arg, FollowLast::Yes)?;
-        charge_namei(w, mid, pid, &res, &cache_key);
+        let res = namei(cx.w, mid, &cred, cwd, arg, FollowLast::Yes)?;
+        charge_namei(cx, &res, &cache_key);
         if res.fref.machine != mid {
-            w.charge_rpc(mid, pid, NfsOp::Getattr);
+            cx.charge_rpc(NfsOp::Getattr);
         }
-        let size = w.machine(res.fref.machine).fs.file_len(res.fref.ino)?;
+        let size = cx.w.machine(res.fref.machine).fs.file_len(res.fref.ino)?;
         Ok(SysRetval::ok(size as u32))
     })())
 }
 
 /// `unlink(2)`.
-pub fn sys_unlink(w: &mut World, mid: MachineId, pid: Pid, arg: &str) -> SyscallResult {
+pub fn sys_unlink(cx: &mut SysCtx<'_>, arg: &str) -> SyscallResult {
     done((|| {
-        let cred = w.cred_of(mid, pid)?;
-        let cwd = w.cwd_of(mid, pid)?;
+        let mid = cx.mid;
+        let cred = cx.cred()?;
+        let cwd = cx.cwd()?;
         let (parent_arg, name) = split_parent(arg);
-        let parent = namei(w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
+        let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
         let cache_key = format!("{mid}:{}:{}:{arg}#unlink", cwd.machine, cwd.ino);
-        charge_namei(w, mid, pid, &parent, &cache_key);
-        w.fs_mut(parent.fref.machine)
+        charge_namei(cx, &parent, &cache_key);
+        cx.w
+            .fs_mut(parent.fref.machine)
             .unlink(parent.fref.ino, &name, &cred)?;
-        let c = w.config.cost.disk_create(); // Directory update, same class.
-        w.charge(mid, pid, c);
+        let c = cx.cost().disk_create(); // Directory update, same class.
+        cx.charge(c);
         if parent.fref.machine != mid {
-            w.charge_rpc(mid, pid, NfsOp::Remove);
+            cx.charge_rpc(NfsOp::Remove);
         }
         Ok(SysRetval::ok(0))
     })())
 }
 
 /// `link(2)` (same machine only, as on the original system).
-pub fn sys_link(w: &mut World, mid: MachineId, pid: Pid, old: &str, new: &str) -> SyscallResult {
+pub fn sys_link(cx: &mut SysCtx<'_>, old: &str, new: &str) -> SyscallResult {
     done((|| {
-        let cred = w.cred_of(mid, pid)?;
-        let cwd = w.cwd_of(mid, pid)?;
-        let target = namei(w, mid, &cred, cwd, old, FollowLast::Yes)?;
+        let mid = cx.mid;
+        let cred = cx.cred()?;
+        let cwd = cx.cwd()?;
+        let target = namei(cx.w, mid, &cred, cwd, old, FollowLast::Yes)?;
         let (parent_arg, name) = split_parent(new);
-        let parent = namei(w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
+        let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
         if target.fref.machine != parent.fref.machine {
             return Err(Errno::EXDEV);
         }
-        charge_namei(w, mid, pid, &target, &format!("{mid}:link:{old}"));
-        w.fs_mut(parent.fref.machine)
+        charge_namei(cx, &target, &format!("{mid}:link:{old}"));
+        cx.w
+            .fs_mut(parent.fref.machine)
             .link(parent.fref.ino, &name, target.fref.ino, &cred)?;
-        let c = w.config.cost.disk_create();
-        w.charge(mid, pid, c);
+        let c = cx.cost().disk_create();
+        cx.charge(c);
         Ok(SysRetval::ok(0))
     })())
 }
 
 /// `symlink(2)`.
-pub fn sys_symlink(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    target: &str,
-    link: &str,
-) -> SyscallResult {
+pub fn sys_symlink(cx: &mut SysCtx<'_>, target: &str, link: &str) -> SyscallResult {
     done((|| {
-        let cred = w.cred_of(mid, pid)?;
-        let cwd = w.cwd_of(mid, pid)?;
+        let mid = cx.mid;
+        let cred = cx.cred()?;
+        let cwd = cx.cwd()?;
         let (parent_arg, name) = split_parent(link);
-        let parent = namei(w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
-        charge_namei(w, mid, pid, &parent, &format!("{mid}:symlink:{link}"));
-        w.fs_mut(parent.fref.machine)
+        let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
+        charge_namei(cx, &parent, &format!("{mid}:symlink:{link}"));
+        cx.w
+            .fs_mut(parent.fref.machine)
             .symlink(parent.fref.ino, &name, target, &cred)?;
-        let c = w.config.cost.disk_create();
-        w.charge(mid, pid, c);
+        let c = cx.cost().disk_create();
+        cx.charge(c);
         Ok(SysRetval::ok(0))
     })())
 }
 
 /// `readlink(2)`: "can be used iteratively to resolve all symbolic links
 /// in a pathname" — the tool `dumpproc` relies on.
-pub fn sys_readlink(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    arg: &str,
-    buf_len: usize,
-) -> SyscallResult {
+pub fn sys_readlink(cx: &mut SysCtx<'_>, arg: &str, buf_len: usize) -> SyscallResult {
     done((|| {
-        let cred = w.cred_of(mid, pid)?;
-        let cwd = w.cwd_of(mid, pid)?;
+        let mid = cx.mid;
+        let cred = cx.cred()?;
+        let cwd = cx.cwd()?;
         let cache_key = format!("{mid}:{}:{}:{arg}#rl", cwd.machine, cwd.ino);
-        let res = namei(w, mid, &cred, cwd, arg, FollowLast::No)?;
-        charge_namei(w, mid, pid, &res, &cache_key);
-        let target = w.machine(res.fref.machine).fs.readlink(res.fref.ino)?;
+        let res = namei(cx.w, mid, &cred, cwd, arg, FollowLast::No)?;
+        charge_namei(cx, &res, &cache_key);
+        let target = cx.w.machine(res.fref.machine).fs.readlink(res.fref.ino)?;
         if res.fref.machine != mid {
-            w.charge_rpc(mid, pid, NfsOp::Readlink);
+            cx.charge_rpc(NfsOp::Readlink);
         }
         let bytes: Vec<u8> = target.into_bytes();
         let n = bytes.len().min(buf_len);
+        cx.copied_out(n);
         Ok(SysRetval::with_data(n as u32, bytes[..n].to_vec()))
     })())
 }
 
 /// `mkdir(2)`.
-pub fn sys_mkdir(w: &mut World, mid: MachineId, pid: Pid, arg: &str, mode: u16) -> SyscallResult {
+pub fn sys_mkdir(cx: &mut SysCtx<'_>, arg: &str, mode: u16) -> SyscallResult {
     done((|| {
-        let cred = w.cred_of(mid, pid)?;
-        let cwd = w.cwd_of(mid, pid)?;
+        let mid = cx.mid;
+        let cred = cx.cred()?;
+        let cwd = cx.cwd()?;
         let (parent_arg, name) = split_parent(arg);
-        let parent = namei(w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
-        charge_namei(w, mid, pid, &parent, &format!("{mid}:mkdir:{arg}"));
-        w.fs_mut(parent.fref.machine)
+        let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
+        charge_namei(cx, &parent, &format!("{mid}:mkdir:{arg}"));
+        cx.w
+            .fs_mut(parent.fref.machine)
             .mkdir(parent.fref.ino, &name, FileMode(mode), &cred)?;
-        let c = w.config.cost.disk_create();
-        w.charge(mid, pid, c);
+        let c = cx.cost().disk_create();
+        cx.charge(c);
         if parent.fref.machine != mid {
-            w.charge_rpc(mid, pid, NfsOp::Create);
+            cx.charge_rpc(NfsOp::Create);
         }
         Ok(SysRetval::ok(0))
     })())

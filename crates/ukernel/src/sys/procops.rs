@@ -4,10 +4,9 @@ use simtime::cost::Cost;
 use simtime::SimDuration;
 use sysdefs::{Disposition, Errno, Pid, Signal, SysResult};
 
-use crate::machine::MachineId;
 use crate::proc::{Body, Proc, ProcState};
 use crate::sys::args::{SysRetval, SyscallResult};
-use crate::world::World;
+use crate::sys::ctx::SysCtx;
 
 fn done(r: SysResult<SysRetval>) -> SyscallResult {
     SyscallResult::Done(match r {
@@ -17,17 +16,18 @@ fn done(r: SysResult<SysRetval>) -> SyscallResult {
 }
 
 /// `exit(2)`.
-pub fn sys_exit(w: &mut World, mid: MachineId, pid: Pid, status: u32) -> SyscallResult {
-    w.do_exit(mid, pid, status);
+pub fn sys_exit(cx: &mut SysCtx<'_>, status: u32) -> SyscallResult {
+    cx.w.do_exit(cx.mid, cx.pid, status);
     SyscallResult::Gone
 }
 
 /// `fork(2)` — VM bodies only; native utilities use `run_local`/`rsh`.
-pub fn sys_fork(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+pub fn sys_fork(cx: &mut SysCtx<'_>) -> SyscallResult {
     done((|| {
-        let child_pid = w.machine_mut(mid).alloc_pid();
+        let pid = cx.pid;
+        let child_pid = cx.machine_mut().alloc_pid();
         let (child_body, image_bytes) = {
-            let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+            let p = cx.proc_ref().ok_or(Errno::ESRCH)?;
             match &p.body {
                 Body::Vm(vm) => {
                     let mut child = vm.clone();
@@ -43,19 +43,19 @@ pub fn sys_fork(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
             }
         };
         let user = {
-            let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+            let p = cx.proc_ref().ok_or(Errno::ESRCH)?;
             p.user.clone()
         };
         // Shared file-table entries: bump every referenced entry.
         {
-            let m = w.machine_mut(mid);
+            let m = cx.machine_mut();
             for idx in user.fds.iter().flatten() {
                 m.files.incref(*idx);
             }
         }
-        let now = w.machine(mid).now;
-        let comm = w
-            .proc_ref(mid, pid)
+        let now = cx.machine().now;
+        let comm = cx
+            .proc_ref()
             .map(|p| p.comm.clone())
             .unwrap_or_default();
         let child = Proc {
@@ -73,28 +73,28 @@ pub fn sys_fork(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
             comm,
             alarm_at: None,
         };
-        let m = w.machine_mut(mid);
+        let m = cx.machine_mut();
         m.procs.insert(child_pid.as_u32(), child);
         m.stats.forks += 1;
         m.make_runnable(child_pid);
-        let c = w.config.cost.fork(image_bytes);
-        w.charge(mid, pid, c);
+        let c = cx.cost().fork(image_bytes);
+        cx.charge(c);
         Ok(SysRetval::ok(child_pid.as_u32()))
     })())
 }
 
 /// `wait(2)`: reap a zombie child, or block until one appears.
-pub fn sys_wait(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+pub fn sys_wait(cx: &mut SysCtx<'_>) -> SyscallResult {
     // The child-table scan below is kernel work, charged per attempt
     // (a blocked wait re-scans every time it is re-issued).
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     let mut zombie: Option<(Pid, u32)> = None;
     let mut have_children = false;
     {
-        let m = w.machine(mid);
+        let m = cx.machine();
         for p in m.procs.values() {
-            if p.ppid == pid {
+            if p.ppid == cx.pid {
                 have_children = true;
                 if let ProcState::Zombie { status } = p.state {
                     zombie = Some((p.pid, status));
@@ -105,14 +105,14 @@ pub fn sys_wait(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
     }
     match zombie {
         Some((child, status)) => {
-            w.machine_mut(mid).procs.remove(&child.as_u32());
+            cx.machine_mut().procs.remove(&child.as_u32());
             done(Ok(SysRetval::with_data(
                 child.as_u32(),
                 status.to_be_bytes().to_vec(),
             )))
         }
         None if have_children => {
-            if let Some(p) = w.proc_mut(mid, pid) {
+            if let Some(p) = cx.proc_mut() {
                 p.state = ProcState::ChildWait;
             }
             SyscallResult::Blocked
@@ -125,12 +125,14 @@ pub fn sys_wait(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
 }
 
 /// `getpid(2)`; with `real`, the §7 `getpid_real()` extension.
-pub fn sys_getpid(w: &mut World, mid: MachineId, pid: Pid, real: bool) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_getpid(cx: &mut SysCtx<'_>, real: bool) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
-        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
-        let answer = if !real && w.config.virtualize_ids {
+        let pid = cx.pid;
+        let virtualize = cx.w.config.virtualize_ids;
+        let p = cx.proc_ref().ok_or(Errno::ESRCH)?;
+        let answer = if !real && virtualize {
             p.user.old_pid.unwrap_or(pid)
         } else {
             pid
@@ -140,59 +142,55 @@ pub fn sys_getpid(w: &mut World, mid: MachineId, pid: Pid, real: bool) -> Syscal
 }
 
 /// `getuid(2)`.
-pub fn sys_getuid(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_getuid(cx: &mut SysCtx<'_>) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
-        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+        let p = cx.proc_ref().ok_or(Errno::ESRCH)?;
         Ok(SysRetval::ok(p.user.cred.ruid.as_u32()))
     })())
 }
 
 /// `gethostname(2)`; with `real`, the §7 `gethostname_real()` extension.
-pub fn sys_gethostname(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    buf_len: usize,
-    real: bool,
-) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_gethostname(cx: &mut SysCtx<'_>, buf_len: usize, real: bool) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done({
-        let virtualised = if !real && w.config.virtualize_ids {
-            w.proc_ref(mid, pid).and_then(|p| p.user.old_host.clone())
+        let virtualised = if !real && cx.w.config.virtualize_ids {
+            cx.proc_ref().and_then(|p| p.user.old_host.clone())
         } else {
             None
         };
-        let name = virtualised.unwrap_or_else(|| w.machine(mid).name.clone());
+        let name = virtualised.unwrap_or_else(|| cx.machine().name.clone());
         let bytes: Vec<u8> = name.into_bytes();
         let n = bytes.len().min(buf_len);
+        cx.copied_out(n);
         Ok(SysRetval::with_data(n as u32, bytes[..n].to_vec()))
     })
 }
 
 /// `getwd`: the kernel's §5.1 cwd string made visible.
-pub fn sys_getwd(w: &mut World, mid: MachineId, pid: Pid, buf_len: usize) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_getwd(cx: &mut SysCtx<'_>, buf_len: usize) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
-        let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
+        let p = cx.proc_ref().ok_or(Errno::ESRCH)?;
         let cwd = p.user.cwd_path.clone().ok_or(Errno::EINVAL)?;
         let bytes: Vec<u8> = cwd.into_bytes();
         let n = bytes.len().min(buf_len);
+        cx.copied_out(n);
         Ok(SysRetval::with_data(n as u32, bytes[..n].to_vec()))
     })())
 }
 
 /// `kill(2)`: post a signal, with the paper's ownership rule.
-pub fn sys_kill(w: &mut World, mid: MachineId, pid: Pid, target: u32, sig: u32) -> SyscallResult {
+pub fn sys_kill(cx: &mut SysCtx<'_>, target: u32, sig: u32) -> SyscallResult {
     done((|| {
         let sig = Signal::from_number(sig)?;
-        let cred = w.cred_of(mid, pid)?;
+        let cred = cx.cred()?;
         let target_pid = Pid(target);
         let (owner, is_vm) = {
-            let t = w.proc_ref(mid, target_pid).ok_or(Errno::ESRCH)?;
+            let t = cx.w.proc_ref(cx.mid, target_pid).ok_or(Errno::ESRCH)?;
             if matches!(t.state, ProcState::Zombie { .. }) {
                 return Err(Errno::ESRCH);
             }
@@ -206,16 +204,16 @@ pub fn sys_kill(w: &mut World, mid: MachineId, pid: Pid, target: u32, sig: u32) 
         // SIGDUMP needs a process image to dump; only VM bodies have
         // one. (And on an unmodified kernel the signal does not exist.)
         if sig == Signal::SIGDUMP {
-            if !w.config.track_names {
+            if !cx.w.config.track_names {
                 return Err(Errno::EINVAL);
             }
             if !is_vm {
                 return Err(Errno::EINVAL);
             }
         }
-        let c = w.config.cost.signal_delivery();
-        w.charge(mid, pid, c);
-        if let Some(t) = w.proc_mut(mid, target_pid) {
+        let c = cx.cost().signal_delivery();
+        cx.charge(c);
+        if let Some(t) = cx.w.proc_mut(cx.mid, target_pid) {
             if sig == Signal::SIGCONT && matches!(t.state, ProcState::Stopped) {
                 t.state = ProcState::Runnable;
             }
@@ -223,27 +221,21 @@ pub fn sys_kill(w: &mut World, mid: MachineId, pid: Pid, target: u32, sig: u32) 
         }
         // A runnable target will take the signal when next scheduled;
         // blocked targets are woken by the scheduler's signal scan.
-        w.machine_mut(mid).nudge(target_pid);
+        cx.machine_mut().nudge(target_pid);
         Ok(SysRetval::ok(0))
     })())
 }
 
 /// `sigvec(2)` (simplified): set one signal's disposition.
-pub fn sys_sigvec(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    sig: u32,
-    disp: Disposition,
-) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_sigvec(cx: &mut SysCtx<'_>, sig: u32, disp: Disposition) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
         let sig = Signal::from_number(sig)?;
         if sig.uncatchable() && disp != Disposition::Default {
             return Err(Errno::EINVAL);
         }
-        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
         let slot = &mut p.user.sigs.dispositions[(sig.number() - 1) as usize];
         let old = std::mem::replace(slot, disp);
         let encoded = match old {
@@ -257,13 +249,13 @@ pub fn sys_sigvec(
 
 /// `sigsetmask(2)`: replace the blocked mask, returning the old one.
 /// `SIGKILL` and `SIGSTOP` cannot be blocked.
-pub fn sys_sigsetmask(w: &mut World, mid: MachineId, pid: Pid, mask: u32) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_sigsetmask(cx: &mut SysCtx<'_>, mask: u32) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
         let unblockable =
             (1u32 << (Signal::SIGKILL.number() - 1)) | (1 << (Signal::SIGSTOP.number() - 1));
-        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
         let old = p.user.sigs.blocked;
         p.user.sigs.blocked = mask & !unblockable;
         Ok(SysRetval::ok(old))
@@ -272,12 +264,13 @@ pub fn sys_sigsetmask(w: &mut World, mid: MachineId, pid: Pid, mask: u32) -> Sys
 
 /// `alarm(2)`: schedule a `SIGALRM`, returning the seconds that
 /// remained on any previous alarm (0 if none).
-pub fn sys_alarm(w: &mut World, mid: MachineId, pid: Pid, secs: u32) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_alarm(cx: &mut SysCtx<'_>, secs: u32) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
-        let now = w.machine(mid).now;
-        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let pid = cx.pid;
+        let now = cx.machine().now;
+        let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
         let remaining = p
             .alarm_at
             .map(|t| (t.since(now).as_micros() / 1_000_000) as u32)
@@ -287,8 +280,9 @@ pub fn sys_alarm(w: &mut World, mid: MachineId, pid: Pid, secs: u32) -> SyscallR
         } else {
             Some(now + SimDuration::secs(secs as u64))
         };
-        if let Some(t) = p.alarm_at {
-            w.machine_mut(mid).push_timer(pid, t);
+        let alarm_at = p.alarm_at;
+        if let Some(t) = alarm_at {
+            cx.machine_mut().push_timer(pid, t);
         }
         Ok(SysRetval::ok(remaining))
     })())
@@ -296,12 +290,12 @@ pub fn sys_alarm(w: &mut World, mid: MachineId, pid: Pid, secs: u32) -> SyscallR
 
 /// `gettimeofday(2)`: virtual micro-seconds since boot, low half in the
 /// value, high half in the data bytes.
-pub fn sys_gettimeofday(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResult {
+pub fn sys_gettimeofday(cx: &mut SysCtx<'_>) -> SyscallResult {
     // Charged before the clock is read, so the returned time includes
     // this call's own CPU — as a real kernel's would.
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
-    let us = w.machine(mid).now.as_micros();
+    let c = cx.cost().quick_call();
+    cx.charge(c);
+    let us = cx.machine().now.as_micros();
     done(Ok(SysRetval::with_data(
         us as u32,
         ((us >> 32) as u32).to_be_bytes().to_vec(),
@@ -309,17 +303,11 @@ pub fn sys_gettimeofday(w: &mut World, mid: MachineId, pid: Pid) -> SyscallResul
 }
 
 /// `setreuid(2)`: `u32::MAX` keeps the current value.
-pub fn sys_setreuid(
-    w: &mut World,
-    mid: MachineId,
-    pid: Pid,
-    ruid: u32,
-    euid: u32,
-) -> SyscallResult {
-    let c = w.config.cost.quick_call();
-    w.charge(mid, pid, c);
+pub fn sys_setreuid(cx: &mut SysCtx<'_>, ruid: u32, euid: u32) -> SyscallResult {
+    let c = cx.cost().quick_call();
+    cx.charge(c);
     done((|| {
-        let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
         let cur = p.user.cred.clone();
         let want_r = if ruid == u32::MAX {
             cur.ruid
@@ -344,16 +332,17 @@ pub fn sys_setreuid(
 }
 
 /// `sleep`: park until a deadline.
-pub fn sys_sleep(w: &mut World, mid: MachineId, pid: Pid, micros: u64) -> SyscallResult {
+pub fn sys_sleep(cx: &mut SysCtx<'_>, micros: u64) -> SyscallResult {
     if micros == 0 {
         return done(Ok(SysRetval::ok(0)));
     }
-    let until = w.machine(mid).now + SimDuration::micros(micros);
-    if let Some(p) = w.proc_mut(mid, pid) {
+    let pid = cx.pid;
+    let until = cx.machine().now + SimDuration::micros(micros);
+    if let Some(p) = cx.proc_mut() {
         p.state = ProcState::Sleeping { until };
-        w.machine_mut(mid).push_timer(pid, until);
+        cx.machine_mut().push_timer(pid, until);
     }
     let c = Cost::cpu_us(100); // Timer setup.
-    w.charge(mid, pid, c);
+    cx.charge(c);
     SyscallResult::Blocked
 }

@@ -51,6 +51,9 @@ pub fn decode_trap(cpu: &Cpu, mem: &Memory) -> Result<Syscall, Errno> {
         Sysno::Open => Syscall::Open {
             path: cstr(mem, a1)?,
             flags: a2 as u16,
+            // Creation mode travels in d3; without CREAT the handler
+            // ignores it (and old guests leave the register garbage).
+            mode: a3 as u16,
         },
         Sysno::Creat => Syscall::Creat {
             path: cstr(mem, a1)?,
@@ -206,12 +209,14 @@ mod tests {
         cpu.d[0] = Sysno::Open.number();
         cpu.d[1] = d;
         cpu.d[2] = 2;
+        cpu.d[3] = 0o640;
         let sc = decode_trap(&cpu, &mem).unwrap();
         assert_eq!(
             sc,
             Syscall::Open {
                 path: "/etc/motd".into(),
-                flags: 2
+                flags: 2,
+                mode: 0o640
             }
         );
     }

@@ -15,7 +15,8 @@ use crate::native::{spawn_native, NativeProgram, Request, Response};
 use crate::proc::{Body, ExitInfo, Proc, ProcState};
 use crate::signal::deliver_pending;
 use crate::sys::args::{SysRetval, Syscall, SyscallResult};
-use crate::sys::{do_syscall, vmabi};
+use crate::sys::ctx::SysCtx;
+use crate::sys::{dispatch, vmabi};
 use crate::user::{FileRef, UserArea};
 
 /// Why a run loop stopped.
@@ -224,17 +225,24 @@ impl World {
             .ok_or(Errno::EBADF)
     }
 
-    /// Charges a cost to a machine and process.
-    pub fn charge(&mut self, mid: MachineId, pid: Pid, cost: Cost) {
+    /// Charges a cost to a machine and process. Kernel-internal paths
+    /// (teardown, signal frames, dump writing) call this directly;
+    /// system-call handlers must charge through their
+    /// [`crate::sys::ctx::SysCtx`] instead so the cost lands in the
+    /// call's accounting.
+    pub fn charge_kernel(&mut self, mid: MachineId, pid: Pid, cost: Cost) {
         self.machines[mid].charge_sys(Some(pid), cost);
     }
 
-    /// Charges one NFS RPC to the client.
-    pub fn charge_rpc(&mut self, mid: MachineId, pid: Pid, op: NfsOp) {
+    /// Charges one NFS RPC to the client and returns the charged cost.
+    /// Same contract as [`World::charge_kernel`]: handlers go through
+    /// `SysCtx::charge_rpc`, kernel paths may call this directly.
+    pub fn charge_kernel_rpc(&mut self, mid: MachineId, pid: Pid, op: NfsOp) -> Cost {
         let cost = op.cost(&self.config.cost, &mut self.ether);
         let m = &mut self.machines[mid];
         m.stats.nfs_rpcs += 1;
         m.charge_sys(Some(pid), cost);
+        cost
     }
 
     // ------------------------------------------------------------------
@@ -402,7 +410,10 @@ impl World {
         self.attach_stdio(mid, &mut user, tty);
         let comm = exe_path.rsplit('/').next().unwrap_or(exe_path).to_string();
         let pid = self.insert_proc(mid, Body::Idle, user, Pid::INIT, &comm);
-        match crate::sys::exec::sys_execve(self, mid, pid, exe_path) {
+        // Boot-time load, not a trap: no entry hook, so no trap charge
+        // or trace record — only the handler's own costs, as before.
+        let mut cx = SysCtx::new(self, mid, pid);
+        match crate::sys::exec::sys_execve(&mut cx, exe_path) {
             SyscallResult::Gone => Ok(pid),
             SyscallResult::Done(ret) => {
                 let e = ret.val.err().unwrap_or(Errno::ENOEXEC);
@@ -431,11 +442,14 @@ impl World {
                 .collect(),
             None => return,
         };
-        for fd in fds {
-            let _ = crate::sys::fsops::close_common(self, mid, pid, fd);
+        {
+            let mut cx = SysCtx::new(self, mid, pid);
+            for fd in fds {
+                let _ = crate::sys::fsops::close_common(&mut cx, fd);
+            }
         }
         let c = self.config.cost.proc_teardown();
-        self.charge(mid, pid, c);
+        self.charge_kernel(mid, pid, c);
 
         let (ppid, info) = {
             let m = &mut self.machines[mid];
@@ -708,6 +722,11 @@ impl World {
         };
         let sc = p.pending_syscall.take();
         p.restart_pc = None;
+        let name = sc.as_ref().map(|s| s.name());
+        let result = match ret.val {
+            Ok(v) => crate::ktrace::KtraceResult::Ok(v),
+            Err(e) => crate::ktrace::KtraceResult::Err(e),
+        };
         match &mut p.body {
             Body::Vm(vm) => {
                 if let Some(sc) = sc {
@@ -722,6 +741,14 @@ impl World {
                 });
             }
             Body::Idle => {}
+        }
+        // The parked call finished outside dispatch (sleep expiry,
+        // remote completion, EINTR): cut the trace record here.
+        if let Some(name) = name {
+            let m = &mut self.machines[mid];
+            let at = m.now;
+            m.ktrace
+                .push(at, pid, name, crate::ktrace::KtraceEvent::Complete { result });
         }
     }
 
@@ -775,7 +802,7 @@ impl World {
             .proc_ref(mid, pid)
             .and_then(|p| p.pending_syscall.clone())
         {
-            match do_syscall(self, mid, pid, &sc) {
+            match dispatch(self, mid, pid, &sc) {
                 SyscallResult::Done(ret) => {
                     self.complete_pending(mid, pid, ret);
                 }
@@ -918,7 +945,7 @@ impl World {
                                     }
                                 }
                             }
-                            Ok(sc) => match do_syscall(self, mid, pid, &sc) {
+                            Ok(sc) => match dispatch(self, mid, pid, &sc) {
                                 SyscallResult::Done(ret) => {
                                     if let Some(p) = self.proc_mut(mid, pid) {
                                         if let Body::Vm(vm) = &mut p.body {
@@ -926,16 +953,9 @@ impl World {
                                         }
                                     }
                                 }
-                                SyscallResult::Blocked => {
-                                    if let Some(p) = self.proc_mut(mid, pid) {
-                                        p.pending_syscall = Some(sc);
-                                        if let Body::Vm(vm) = &p.body {
-                                            p.restart_pc =
-                                                Some(vm.cpu.pc.wrapping_sub(vmabi::TRAP_LEN));
-                                        }
-                                    }
-                                    break 'quantum;
-                                }
+                                // dispatch() saved the pending call and
+                                // the restart pc.
+                                SyscallResult::Blocked => break 'quantum,
                                 SyscallResult::Gone => break 'quantum,
                             },
                         }
@@ -1013,7 +1033,7 @@ impl World {
                 Request::Syscall(sc) => {
                     let was_overlay_call =
                         matches!(sc, Syscall::Execve { .. } | Syscall::RestProc { .. });
-                    match do_syscall(self, mid, pid, &sc) {
+                    match dispatch(self, mid, pid, &sc) {
                         SyscallResult::Done(ret) => {
                             if resp_tx
                                 .send(Response {
@@ -1027,12 +1047,9 @@ impl World {
                                 return;
                             }
                         }
-                        SyscallResult::Blocked => {
-                            if let Some(p) = self.proc_mut(mid, pid) {
-                                p.pending_syscall = Some(sc);
-                            }
-                            return;
-                        }
+                        // dispatch() saved the pending call; the response
+                        // is sent by complete_pending when it finishes.
+                        SyscallResult::Blocked => return,
                         SyscallResult::Gone => {
                             if was_overlay_call {
                                 // execve/rest_proc succeeded: the body is

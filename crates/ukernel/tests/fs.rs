@@ -33,7 +33,7 @@ fn dup_shares_the_file_offset() {
         let fd = sys.creat("/tmp/x", 0o644).unwrap();
         sys.write(fd, b"abcdef").unwrap();
         sys.close(fd).unwrap();
-        let fd = sys.open("/tmp/x", 0).unwrap();
+        let fd = sys.open("/tmp/x", 0, 0).unwrap();
         let dup = sys.dup(fd).unwrap();
         assert_eq!(sys.read(fd, 2).unwrap(), b"ab");
         // The duplicate continues where the original stopped: one file
@@ -63,13 +63,14 @@ fn append_mode_always_writes_at_the_end() {
                 sysdefs::OpenFlags::WRONLY
                     .with(sysdefs::OpenFlags::APPEND)
                     .bits(),
+                0,
             )
             .unwrap();
         // Seeking somewhere else does not defeat append.
         sys.lseek(fd, 0, ukernel::Whence::Set).unwrap();
         sys.write(fd, b"two\n").unwrap();
         sys.close(fd).unwrap();
-        let fd = sys.open("/tmp/log", 0).unwrap();
+        let fd = sys.open("/tmp/log", 0, 0).unwrap();
         assert_eq!(sys.read_all(fd).unwrap(), b"one\ntwo\n");
         sys.close(fd).unwrap();
         0
@@ -83,7 +84,7 @@ fn descriptor_table_is_fixed_size() {
     let status = run(&mut w, m, |sys| {
         let mut opened = Vec::new();
         loop {
-            match sys.open("/dev/null", 2) {
+            match sys.open("/dev/null", 2, 0) {
                 Ok(fd) => opened.push(fd),
                 Err(Errno::EMFILE) => break,
                 Err(e) => panic!("unexpected {e}"),
@@ -93,7 +94,7 @@ fn descriptor_table_is_fixed_size() {
         assert_eq!(opened.len(), NOFILE);
         // Closing one slot frees exactly one descriptor, reused lowest-first.
         sys.close(opened[3]).unwrap();
-        assert_eq!(sys.open("/dev/null", 2).unwrap(), opened[3]);
+        assert_eq!(sys.open("/dev/null", 2, 0).unwrap(), opened[3]);
         0
     });
     assert_eq!(status, 0);
@@ -154,7 +155,7 @@ fn write_to_readonly_fd_rejected() {
             .map(|fd| sys.close(fd))
             .unwrap()
             .unwrap();
-        let fd = sys.open("/tmp/ro", 0).unwrap();
+        let fd = sys.open("/tmp/ro", 0, 0).unwrap();
         match sys.write(fd, b"nope") {
             Err(Errno::EBADF) => 0,
             other => {
@@ -177,7 +178,7 @@ fn lseek_whence_and_sparse_files() {
         sys.write(fd, b"tail").unwrap();
         assert_eq!(sys.lseek(fd, 0, ukernel::Whence::End).unwrap(), 12);
         sys.close(fd).unwrap();
-        let fd = sys.open("/tmp/sparse", 0).unwrap();
+        let fd = sys.open("/tmp/sparse", 0, 0).unwrap();
         let all = sys.read_all(fd).unwrap();
         assert_eq!(all, b"head\0\0\0\0tail");
         // Negative result is rejected.

@@ -284,7 +284,7 @@ fn native_process_full_syscall_tour() {
             sys.write(fd, b"line one\n").unwrap();
             sys.write(fd, b"line two\n").unwrap();
             sys.close(fd).unwrap();
-            let fd = sys.open("notes.txt", 0).unwrap();
+            let fd = sys.open("notes.txt", 0, 0).unwrap();
             assert_eq!(sys.read_all(fd).unwrap(), b"line one\nline two\n");
             sys.lseek(fd, 5, ukernel::Whence::Set).unwrap();
             assert_eq!(sys.read(fd, 3).unwrap(), b"one");
@@ -293,7 +293,7 @@ fn native_process_full_syscall_tour() {
             assert_eq!(sys.readlink("/u/alice/ln").unwrap(), "/u/alice/notes.txt");
             assert_eq!(sys.stat_size("/u/alice/ln").unwrap(), 18);
             sys.unlink("ln").unwrap();
-            assert!(sys.open("/u/alice/ln", 0).is_err());
+            assert!(sys.open("/u/alice/ln", 0, 0).is_err());
             assert_eq!(sys.gethostname().unwrap(), "brick");
             assert!(sys.getpid().unwrap() > Pid(1));
             0
@@ -317,7 +317,7 @@ fn nfs_read_write_across_machines() {
             let fd = sys.creat("/n/schooner/tmp/shared", 0o644).unwrap();
             sys.write(fd, b"over the wire").unwrap();
             sys.close(fd).unwrap();
-            let fd = sys.open("/n/schooner/tmp/shared", 0).unwrap();
+            let fd = sys.open("/n/schooner/tmp/shared", 0, 0).unwrap();
             let back = sys.read_all(fd).unwrap();
             assert_eq!(back, b"over the wire");
             sys.close(fd).unwrap();

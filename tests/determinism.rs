@@ -58,7 +58,7 @@ fn run_scenario() -> String {
 
 /// A canonical textual dump of the world: per-machine clocks, event
 /// counters, process accounting, a structural hash of each filesystem
-/// tree, and the victim terminal transcript.
+/// tree, the full `ktrace` ring, and the victim terminal transcript.
 fn snapshot(w: &World, victim_tty: &str) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -96,6 +96,17 @@ fn snapshot(w: &World, victim_tty: &str) -> String {
         })
         .unwrap();
         writeln!(out, "  fs_hash={:#018x}", fs_tree_hash(&m.fs)).unwrap();
+        // The whole trace ring is part of the contract: identical runs
+        // must cut identical records in identical order.
+        writeln!(
+            out,
+            "  ktrace seq={} dropped={}",
+            m.ktrace.seq, m.ktrace.dropped
+        )
+        .unwrap();
+        for r in m.ktrace.records() {
+            writeln!(out, "  kt {}", r.render()).unwrap();
+        }
     }
     for (&(mid, pid), info) in &w.finished {
         writeln!(

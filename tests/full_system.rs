@@ -89,7 +89,7 @@ fn nfs_namespace_and_the_symlink_trap() {
         Box::new(|sys| {
             sys.symlink("/n/brador/export/u2", "/u2").unwrap();
             // A program on classic opens the file by its convenient name.
-            let fd = sys.open("/u2/alice/thesis.tex", 0).unwrap();
+            let fd = sys.open("/u2/alice/thesis.tex", 0, 0).unwrap();
             let contents = sys.read_all(fd).unwrap();
             assert_eq!(contents, b"\\title{Migration}");
             sys.close(fd).unwrap();
@@ -111,7 +111,7 @@ fn nfs_namespace_and_the_symlink_trap() {
         "probe",
         None,
         Credentials::root(),
-        Box::new(|sys| match sys.open("/n/classic/u2/alice/thesis.tex", 0) {
+        Box::new(|sys| match sys.open("/n/classic/u2/alice/thesis.tex", 0, 0) {
             Err(sysdefs::Errno::EREMOTE) => 0,
             other => {
                 let _ = other;
