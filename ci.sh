@@ -17,5 +17,8 @@ cargo run -p simlint --release
 # Smoke-run the measured-syscall figures: drift in the dispatch path's
 # charged costs moves these ratios, and figures_sanity.rs pins the
 # bands — this catches a figures binary that no longer even runs.
-cargo run --release -p bench --bin figures -- fig1 fig2 fig3
+# `faults` is the fault-injection soak: it migrates under every
+# injected-fault site with a nonzero seed and asserts failure
+# atomicity — exactly one live copy, zero orphaned dump files.
+cargo run --release -p bench --bin figures -- fig1 fig2 fig3 faults
 cargo bench -p bench --bench simulator -- --test

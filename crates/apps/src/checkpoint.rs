@@ -92,8 +92,9 @@ pub fn snapshot_once(sys: &Sys, pid: Pid, dir: &str, n: u32) -> SysResult<Pid> {
             }
         }
     }
+    let bytes = files.encode().map_err(|_| Errno::EINVAL)?;
     let fd = sys.creat(&format!("{adir}/files"), 0o600)?;
-    sys.write(fd, &files.encode())?;
+    sys.write(fd, &bytes)?;
     sys.close(fd)?;
 
     // Restart the process locally so it keeps running.

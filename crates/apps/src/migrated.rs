@@ -7,49 +7,20 @@
 //! start processes remotely, applications will simply send messages to
 //! the daemon, who will start the processes on their behalf."
 
-use pmig::commands::{dumpproc, restart, RestartArgs};
+use pmig::commands::{migrate_with, report_survivor, RemoteRunner};
 use sysdefs::{Credentials, Pid, SysResult};
 use ukernel::{MachineId, Sys, World};
 
 /// The daemon-based `migrate`: identical logic to
-/// [`pmig::commands::migrate`], but remote halves go through one daemon
-/// message instead of an `rsh` session.
+/// [`pmig::commands::migrate`] — the same failure-atomic engine, with
+/// the same dump verification, retries and cleanup — but remote halves
+/// go through one daemon message instead of an `rsh` session.
 ///
 /// Returns the restart step's exit status.
 pub fn migrate_via_daemon(sys: &Sys, pid: Pid, from_host: &str, to_host: &str) -> SysResult<u32> {
-    let local = sys.gethostname_real().or_else(|_| sys.gethostname())?;
-
-    let dump_status = if from_host == local {
-        let p = pid;
-        sys.run_local("dumpproc", move |s| match dumpproc(s, p) {
-            Ok(()) => 0,
-            Err(e) => e.as_u16() as u32,
-        })?
-    } else {
-        let p = pid;
-        sys.daemon_spawn(from_host, "dumpproc", move |s| match dumpproc(s, p) {
-            Ok(()) => 0,
-            Err(e) => e.as_u16() as u32,
-        })?
-        .0
-    };
-    if dump_status != 0 {
-        return Ok(dump_status);
-    }
-
-    let args = RestartArgs {
-        pid,
-        dump_host: Some(from_host.to_string()),
-    };
-    let status = if to_host == local {
-        sys.run_local("restart", move |s| restart(s, &args).as_u16() as u32)?
-    } else {
-        sys.daemon_spawn(to_host, "restart", move |s| {
-            restart(s, &args).as_u16() as u32
-        })?
-        .0
-    };
-    Ok(status)
+    let out = migrate_with(sys, pid, from_host, to_host, RemoteRunner::Daemon)?;
+    report_survivor(sys, &out, from_host, to_host);
+    Ok(out.status)
 }
 
 /// World-level wrapper: runs [`migrate_via_daemon`] as a process on the

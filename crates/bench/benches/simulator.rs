@@ -89,8 +89,8 @@ fn bench_dump_codecs(c: &mut Criterion) {
         regs: [7; 18],
         sigs: SignalState::default(),
     };
-    let files_bytes = files.encode();
-    let stack_bytes = stack.encode();
+    let files_bytes = files.encode().unwrap();
+    let stack_bytes = stack.encode().unwrap();
     let mut g = c.benchmark_group("dumpfmt");
     g.bench_function("files_encode", |b| b.iter(|| black_box(files.encode())));
     g.bench_function("files_decode", |b| {

@@ -33,6 +33,7 @@ use std::io::BufRead;
 
 use m68vm::{assemble, IsaLevel};
 use pmig::commands::RestartArgs;
+use simnet::{FaultPlan, FaultSite, FaultSpec};
 use pmig::{api, workloads};
 use sysdefs::{Credentials, Gid, Pid, Uid};
 use ukernel::{KernelConfig, World};
@@ -81,6 +82,12 @@ commands:
   dumpproc <host> <pid>           run dumpproc there
   restart <host> <pid> [dumphost] run restart there (new terminal)
   migrate <pid> <from> <to> [on]  run the migrate command
+  fault seed <n>                  (re)seed the fault-injection plan
+  fault add <site> <host|*> <from_us> <until_us> <permille> <hits>
+                                  arm an injection rule; sites: nfs rsh
+                                  middump enospc
+  fault list                      show the plan and its counters
+  reap <host>                     sweep orphaned dump files in /usr/tmp
   help                            this text
   quit                            leave
 workloads: testprog editor pidprog envprog waiter hog:<n> openclose:<n> chdir:<n>";
@@ -228,6 +235,62 @@ fn dispatch(world: &mut World, parts: &[&str]) -> Result<(), String> {
             let new_pid = api::migrate_process(world, pid, from_m, to_m, cmd_m, Some(tty), user())
                 .map_err(|e| e.to_string())?;
             println!("migrated: now pid {new_pid} on {to}");
+        }
+        ["fault", "seed", n] => {
+            let seed: u64 = n.parse().map_err(|_| "bad seed".to_string())?;
+            world.faults = FaultPlan::seeded(seed);
+            println!("fault plan reseeded ({seed}); rules cleared");
+        }
+        ["fault", "add", site, host, from_us, until_us, per_mille, hits] => {
+            let site = FaultSite::parse(site)
+                .ok_or_else(|| format!("unknown site `{site}` (nfs rsh middump enospc)"))?;
+            let machine = match *host {
+                "*" => None,
+                name => Some(machine_by_name(world, name)?),
+            };
+            let spec = FaultSpec {
+                site,
+                machine,
+                from_us: from_us.parse().map_err(|_| "bad from_us".to_string())?,
+                until_us: until_us.parse().map_err(|_| "bad until_us".to_string())?,
+                per_mille: per_mille.parse().map_err(|_| "bad permille".to_string())?,
+                max_hits: hits.parse().map_err(|_| "bad hit budget".to_string())?,
+                hits: 0,
+            };
+            world.faults = std::mem::take(&mut world.faults).with(spec);
+            println!("armed: {} on {host} in [{from_us}us,{until_us}us) {per_mille}/1000, budget {hits}", site.name());
+        }
+        ["fault", "list"] => {
+            let plan = &world.faults;
+            if plan.is_empty() {
+                println!("no fault rules armed (seed {})", plan.seed);
+            } else {
+                for s in &plan.specs {
+                    let host = match s.machine {
+                        Some(m) => world.machine(m).name.clone(),
+                        None => "*".into(),
+                    };
+                    println!(
+                        "{:<8} {host:<10} [{},{})us {}/1000 hits {}/{}",
+                        s.site.name(),
+                        s.from_us,
+                        s.until_us,
+                        s.per_mille,
+                        s.hits,
+                        s.max_hits
+                    );
+                }
+                println!("injected so far: {}", plan.injected);
+            }
+        }
+        ["reap", host] => {
+            let m = machine_by_name(world, host)?;
+            let reaped = world.host_reap_orphan_dumps(m);
+            if reaped.is_empty() {
+                println!("no orphaned dump files on {host}");
+            } else {
+                println!("reaped from {host}:/usr/tmp: {}", reaped.join(" "));
+            }
         }
         _ => return Err(format!("unknown command `{}` (try help)", parts.join(" "))),
     }

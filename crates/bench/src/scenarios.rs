@@ -715,6 +715,99 @@ pub fn ablation_loadbal() -> Vec<AblationLoadbalRow> {
 }
 
 // ---------------------------------------------------------------------
+// Fault soak: failure atomicity of migrate under injected faults.
+// ---------------------------------------------------------------------
+
+/// One row of the fault-injection soak matrix: a remote-remote `migrate`
+/// run against one injection site, with the failure-atomicity invariant
+/// ("exactly one live copy, no dump files left behind") measured after
+/// the dust settles.
+#[derive(Clone, Debug)]
+pub struct FaultSoakRow {
+    /// Injection case label (site, plus `-persistent` for an unbounded
+    /// fault budget).
+    pub case: String,
+    /// The migrate command's exit status (0 = migrated).
+    pub status: u32,
+    /// Where the live copy ended up: `target`, `source` or `lost`.
+    pub survivor: String,
+    /// Faults actually injected, summed over all machines.
+    pub injected: u64,
+    /// Live copies of the victim afterwards — the invariant demands
+    /// exactly 1.
+    pub live_copies: usize,
+    /// Dump files left in `/usr/tmp` on any machine afterwards — the
+    /// invariant demands 0 (counted by the orphan reaper, which also
+    /// removes them).
+    pub dumps_left: usize,
+}
+
+/// Runs the fault matrix: every injection site against a remote-remote
+/// migration (command on a third machine, the paper's worst case), each
+/// with a bounded fault budget, plus one persistent-rsh case where the
+/// transport never comes back.
+pub fn fault_soak(seed: u64) -> Vec<FaultSoakRow> {
+    use simnet::{FaultPlan, FaultSite, FaultSpec};
+    let cases: [(&str, FaultSite, u32); 5] = [
+        ("nfs", FaultSite::NfsOp, 3),
+        ("rsh", FaultSite::Rsh, 1),
+        ("middump", FaultSite::MidDumpCrash, 1),
+        ("enospc", FaultSite::DumpEnospc, 1),
+        ("rsh-persistent", FaultSite::Rsh, u32::MAX),
+    ];
+    let mut rows = Vec::new();
+    for (label, site, max_hits) in cases {
+        let (mut w, brick, schooner, third, victim) = fig4_world();
+        w.faults = FaultPlan::seeded(seed).with(FaultSpec::always(site, max_hits));
+        let from_name = w.machine(brick).name.clone();
+        let to_name = w.machine(schooner).name.clone();
+        let cmd = w.spawn_native_proc(
+            third,
+            "migrate",
+            None,
+            alice(),
+            Box::new(
+                move |sys| match pmig::migrate(sys, victim, &from_name, &to_name) {
+                    Ok(status) => status,
+                    Err(e) => e.as_u16() as u32,
+                },
+            ),
+        );
+        // Generous budget: injected NFS timeouts (2.1 s each) and the
+        // engine's backoffs stretch the faulty runs well past Fig. 4.
+        let info = w
+            .run_until_exit(third, cmd, 60_000_000)
+            .expect("migrate exits even under faults");
+        let src_alive = w.proc_ref(brick, victim).is_some();
+        let on_target = api::find_restarted(&w, schooner, victim).is_some();
+        let back_on_source = api::find_restarted(&w, brick, victim).is_some();
+        let live_copies = src_alive as usize + on_target as usize + back_on_source as usize;
+        let survivor = if on_target {
+            "target"
+        } else if src_alive || back_on_source {
+            "source"
+        } else {
+            "lost"
+        };
+        let injected: u64 = (0..w.machine_count())
+            .map(|m| w.machine(m).stats.faults_injected)
+            .sum();
+        let dumps_left: usize = (0..w.machine_count())
+            .map(|m| w.host_reap_orphan_dumps(m).len())
+            .sum();
+        rows.push(FaultSoakRow {
+            case: label.into(),
+            status: info.status,
+            survivor: survivor.into(),
+            injected,
+            live_copies,
+            dumps_left,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
 // Kernel-side per-syscall aggregates.
 // ---------------------------------------------------------------------
 
@@ -778,3 +871,4 @@ impl_to_json!(AblationNamesRow { strategy, peak_bytes });
 impl_to_json!(AblationCheckpointRow { interval_ms, completion_ms, overhead, expected_loss_ms });
 impl_to_json!(AblationLoadbalRow { policy, makespan_ms, migrations });
 impl_to_json!(KernelSyscallRow { syscall, count, total_us, max_us });
+impl_to_json!(FaultSoakRow { case, status, survivor, injected, live_copies, dumps_left });

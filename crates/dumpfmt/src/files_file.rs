@@ -50,8 +50,15 @@ pub struct FilesFile {
 }
 
 impl FilesFile {
-    /// Serialises the file, magic first.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialises the file, magic first. Fails rather than emit a
+    /// record [`FilesFile::decode`] would reject: the fd count is
+    /// carried as a `u16` and bounded by the same 1024-slot sanity
+    /// limit, so a table longer than that must not be silently
+    /// truncated onto the wire.
+    pub fn encode(&self) -> Result<Vec<u8>, DumpError> {
+        if self.fds.len() > 1024 {
+            return Err(DumpError::Malformed("absurd fd table size"));
+        }
         let mut out = Vec::new();
         put_u16(&mut out, FILES_MAGIC);
         put_string(&mut out, &self.host);
@@ -74,7 +81,7 @@ impl FilesFile {
             }
         }
         put_u16(&mut out, self.tty_flags.bits());
-        out
+        Ok(out)
     }
 
     /// Parses and validates the file, checking the magic number first —
@@ -156,7 +163,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let f = sample();
-        let bytes = f.encode();
+        let bytes = f.encode().unwrap();
         let back = FilesFile::decode(&bytes).unwrap();
         assert_eq!(f, back);
     }
@@ -164,7 +171,7 @@ mod tests {
     #[test]
     fn magic_is_0445_and_checked() {
         let f = sample();
-        let bytes = f.encode();
+        let bytes = f.encode().unwrap();
         assert_eq!(u16::from_be_bytes([bytes[0], bytes[1]]), 0o445);
         let mut bad = bytes.clone();
         bad[1] = 0;
@@ -179,7 +186,7 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let bytes = sample().encode();
+        let bytes = sample().encode().unwrap();
         for cut in [1, 3, 10, bytes.len() - 1] {
             assert_eq!(
                 FilesFile::decode(&bytes[..cut]),
@@ -192,7 +199,7 @@ mod tests {
     #[test]
     fn unknown_tag_rejected() {
         let f = sample();
-        let mut bytes = f.encode();
+        let mut bytes = f.encode().unwrap();
         // First record tag sits right after magic + 2 strings + count.
         let tag_pos = 2 + (2 + 5) + (2 + 15) + 2;
         assert_eq!(bytes[tag_pos], 1);
@@ -206,10 +213,21 @@ mod tests {
     #[test]
     fn fixed_size_table_is_preserved() {
         let f = sample();
-        let back = FilesFile::decode(&f.encode()).unwrap();
+        let back = FilesFile::decode(&f.encode().unwrap()).unwrap();
         assert_eq!(back.fds.len(), NOFILE);
         assert_eq!(back.fds[4], FdRecord::Socket);
         assert_eq!(back.fds[29], FdRecord::Unused);
+    }
+
+    #[test]
+    fn oversized_fd_table_refused_not_truncated() {
+        // 70000 % 65536 = 4464: the old `as u16` cast would have
+        // emitted a wrong-but-plausible count instead of failing.
+        let f = FilesFile {
+            fds: vec![FdRecord::Unused; 70_000],
+            ..sample()
+        };
+        assert_eq!(f.encode(), Err(DumpError::Malformed("absurd fd table size")));
     }
 }
 
@@ -247,7 +265,7 @@ mod proptests {
                 fds,
                 tty_flags: TtyFlags::from_bits(tty),
             };
-            prop_assert_eq!(FilesFile::decode(&f.encode()).unwrap(), f);
+            prop_assert_eq!(FilesFile::decode(&f.encode().unwrap()).unwrap(), f);
         }
 
         #[test]

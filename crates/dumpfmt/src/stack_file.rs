@@ -45,8 +45,14 @@ pub struct StackFile {
 }
 
 impl StackFile {
-    /// Serialises the file, magic first.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialises the file, magic first. Fails rather than emit a
+    /// record [`StackFile::decode`] would reject: the stack length is
+    /// carried as a `u32` and bounded by the same 16 MiB sanity limit,
+    /// so an oversized stack must not be silently truncated.
+    pub fn encode(&self) -> Result<Vec<u8>, DumpError> {
+        if self.stack.len() > 16 << 20 {
+            return Err(DumpError::Malformed("absurd stack size"));
+        }
         let mut out = Vec::new();
         put_u16(&mut out, STACK_MAGIC);
         put_u32(&mut out, self.cred.ruid.as_u32());
@@ -75,7 +81,7 @@ impl StackFile {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Parses and validates the file, magic first.
@@ -168,12 +174,12 @@ mod tests {
     #[test]
     fn round_trip() {
         let s = sample();
-        assert_eq!(StackFile::decode(&s.encode()).unwrap(), s);
+        assert_eq!(StackFile::decode(&s.encode().unwrap()).unwrap(), s);
     }
 
     #[test]
     fn magic_is_0444_and_checked() {
-        let bytes = sample().encode();
+        let bytes = sample().encode().unwrap();
         assert_eq!(u16::from_be_bytes([bytes[0], bytes[1]]), 0o444);
         let mut bad = bytes;
         bad[1] ^= 0xff;
@@ -189,7 +195,7 @@ mod tests {
     #[test]
     fn peek_credentials_reads_only_the_header() {
         let s = sample();
-        let bytes = s.encode();
+        let bytes = s.encode().unwrap();
         // Truncate right after the credentials: peek still works.
         let cred = StackFile::peek_credentials(&bytes[..2 + 16]).unwrap();
         assert_eq!(cred, s.cred);
@@ -201,7 +207,7 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let bytes = sample().encode();
+        let bytes = sample().encode().unwrap();
         assert_eq!(
             StackFile::decode(&bytes[..bytes.len() - 3]),
             Err(DumpError::Truncated)
@@ -209,8 +215,17 @@ mod tests {
     }
 
     #[test]
+    fn oversized_stack_refused_not_truncated() {
+        let s = StackFile {
+            stack: vec![0u8; (16 << 20) + 1],
+            ..sample()
+        };
+        assert_eq!(s.encode(), Err(DumpError::Malformed("absurd stack size")));
+    }
+
+    #[test]
     fn absurd_stack_size_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().unwrap();
         // Stack length field is at offset 2 + 16.
         bytes[18..22].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
@@ -257,7 +272,7 @@ mod proptests {
                 regs,
                 sigs: SignalState { dispositions, blocked },
             };
-            prop_assert_eq!(StackFile::decode(&s.encode()).unwrap(), s);
+            prop_assert_eq!(StackFile::decode(&s.encode().unwrap()).unwrap(), s);
         }
 
         #[test]

@@ -159,7 +159,8 @@ fn errno_from_u16(n: u16) -> Option<Errno> {
     let all = [
         EPERM, ENOENT, ESRCH, EINTR, EIO, ENXIO, E2BIG, ENOEXEC, EBADF, ECHILD, EAGAIN, ENOMEM,
         EACCES, EFAULT, EBUSY, EEXIST, EXDEV, ENODEV, ENOTDIR, EISDIR, EINVAL, ENFILE, EMFILE,
-        ENOTTY, EFBIG, ENOSPC, ESPIPE, EROFS, EMLINK, EPIPE, ELOOP, EREMOTE, ESTALE,
+        ENOTTY, EFBIG, ENOSPC, ESPIPE, EROFS, EMLINK, EPIPE, ELOOP, EREMOTE, ESTALE, ETIMEDOUT,
+        ECONNREFUSED, EHOSTDOWN, EHOSTUNREACH,
     ];
     all.into_iter().find(|e| e.as_u16() == n)
 }

@@ -16,6 +16,11 @@ const DUMP_POLL_TRIES: u32 = 10;
 /// The 1-second poll sleep between tries.
 const DUMP_POLL_SLEEP_US: u64 = 1_000_000;
 
+/// The poll's simtime deadline. The try counter alone is not a bound:
+/// an `open` that fails slowly (NFS soft-mount timeouts) spends far
+/// more than a sleep per try, so the clock is the real budget.
+const DUMP_POLL_TIMEOUT_US: u64 = DUMP_POLL_TRIES as u64 * DUMP_POLL_SLEEP_US;
+
 /// **`dumpproc`** (§4.4): kill a process with `SIGDUMP` and rewrite its
 /// `filesXXXXX` file for migration.
 ///
@@ -29,20 +34,26 @@ pub fn dumpproc(sys: &Sys, pid: Pid) -> SysResult<()> {
     // until the kernel switches its context to that of the process being
     // dumped ... To avoid busy loops, dumpproc simply sleeps for one
     // second after each unsuccessful attempt (aborting after ten tries)."
+    //
+    // A dump that will *never* materialize (the dump write failed with
+    // ENOSPC, say, and the victim kept running) must not read as "no
+    // such process": the poll gives up against a simtime deadline with
+    // ETIMEDOUT, so callers can tell "dump never appeared" from
+    // genuine ENOENT-class errors.
     let names = dump_file_names(pid);
-    let mut opened = None;
-    for _ in 0..DUMP_POLL_TRIES {
+    let deadline = sys.gettimeofday()?.saturating_add(DUMP_POLL_TIMEOUT_US);
+    let fd = loop {
         sys.sleep_us(DUMP_POLL_SLEEP_US)?;
         match sys.open(&names.a_out, 0, 0) {
-            Ok(fd) => {
-                opened = Some(fd);
-                break;
+            Ok(fd) => break fd,
+            Err(Errno::ENOENT) => {
+                if sys.gettimeofday()? >= deadline {
+                    return Err(Errno::ETIMEDOUT);
+                }
             }
-            Err(Errno::ENOENT) => continue,
             Err(e) => return Err(e),
         }
-    }
-    let fd = opened.ok_or(Errno::ENOENT)?;
+    };
     sys.close(fd)?;
 
     // "Reads in the filesXXXXX file."
@@ -66,8 +77,9 @@ pub fn dumpproc(sys: &Sys, pid: Pid) -> SysResult<()> {
     }
 
     // "Overwrites the modified information on the filesXXXXX file."
+    let bytes = files.encode().map_err(|_| Errno::EINVAL)?;
     let fd = sys.creat(&names.files, 0o600)?;
-    sys.write(fd, &files.encode())?;
+    sys.write(fd, &bytes)?;
     sys.close(fd)?;
     Ok(())
 }
@@ -138,10 +150,35 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
 
     // Rebuild the descriptor table in order. Everything we hold now
     // (our own stdio) is closed first so that each open lands on the
-    // right number.
+    // right number. A failure partway leaves the caller holding a
+    // half-rebuilt table, so every fd opened so far is closed before
+    // the errno propagates.
     for fd in 0..NOFILE {
         let _ = sys.close(fd);
     }
+    if let Err(e) = rebuild_fds(sys, &files) {
+        for fd in 0..NOFILE {
+            let _ = sys.close(fd);
+        }
+        return Err(e);
+    }
+
+    // "Reads in the old terminal flags and sets those of the current
+    // terminal appropriately."
+    if let Ok(tty_fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits(), 0) {
+        let _ = sys.stty(tty_fd, files.tty_flags);
+        let _ = sys.close(tty_fd);
+    }
+
+    // "Calls rest_proc() to restart the old program." The old identity
+    // rides along for the §7 id-virtualization extension.
+    let e = sys.rest_proc(&a_out, &stack_path, Some(args.pid), Some(&files.host));
+    Err(e)
+}
+
+/// The fd-table rebuild of [`restart_inner`], split out so its error
+/// paths share one cleanup site in the caller.
+fn rebuild_fds(sys: &Sys, files: &FilesFile) -> SysResult<()> {
     let mut placeholders: Vec<usize> = Vec::new();
     for (i, record) in files.fds.iter().enumerate() {
         let got = match record {
@@ -177,18 +214,7 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
     for fd in placeholders {
         let _ = sys.close(fd);
     }
-
-    // "Reads in the old terminal flags and sets those of the current
-    // terminal appropriately."
-    if let Ok(tty_fd) = sys.open("/dev/tty", OpenFlags::RDWR.bits(), 0) {
-        let _ = sys.stty(tty_fd, files.tty_flags);
-        let _ = sys.close(tty_fd);
-    }
-
-    // "Calls rest_proc() to restart the old program." The old identity
-    // rides along for the §7 id-virtualization extension.
-    let e = sys.rest_proc(&a_out, &stack_path, Some(args.pid), Some(&files.host));
-    Err(e)
+    Ok(())
 }
 
 /// Opens the placeholder for an unreconstructable descriptor:
@@ -204,48 +230,375 @@ fn open_placeholder(sys: &Sys, fd_no: usize) -> SysResult<usize> {
     sys.open("/dev/null", OpenFlags::RDWR.bits(), 0)
 }
 
+/// How `migrate` reaches a remote machine for its subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteRunner {
+    /// The paper's original transport: `rsh`, with its expensive
+    /// session establishment (Figure 4).
+    Rsh,
+    /// The §7 `migrated` daemon's cheap spawn path.
+    Daemon,
+}
+
+/// Which machine holds the live copy of the process after `migrate`
+/// finishes — the failure-atomicity report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Survivor {
+    /// The process runs on the destination (the happy path).
+    Target,
+    /// The process still (or again) runs on the source.
+    Source,
+    /// Neither side has it — the invariant is broken, reported loudly
+    /// rather than silently.
+    Lost,
+}
+
+/// The full result of a migration attempt: the exit status the command
+/// reports plus which side the process survived on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrateOutcome {
+    /// 0 = migrated; otherwise the errno of the step that failed.
+    pub status: u32,
+    /// Where the live copy ended up.
+    pub survivor: Survivor,
+}
+
+/// Remote-step attempts before giving up (first try + retries).
+const MIGRATE_TRIES: u32 = 3;
+
+/// The first retry backoff; later retries double it.
+const MIGRATE_BACKOFF_US: u64 = 1_000_000;
+
+/// Errnos worth retrying with backoff: transport failures (dropped NFS
+/// RPCs, dead rsh/daemon sessions) and dump-side failures that a fresh
+/// `SIGDUMP` can redo because the victim survived them (torn or missing
+/// dump files, transient ENOSPC).
+fn transient(e: u16) -> bool {
+    [
+        Errno::ETIMEDOUT,
+        Errno::EHOSTDOWN,
+        Errno::EHOSTUNREACH,
+        Errno::ENOENT,
+        Errno::EINVAL,
+        Errno::EIO,
+        Errno::ENOSPC,
+    ]
+    .iter()
+    .any(|t| t.as_u16() == e)
+}
+
 /// **`migrate`** (§4.1): "move a process from one machine to another.
 /// This is simply a combination of the two previous commands", executed
 /// as subprocesses, "by using the remote shell command rsh ... if
 /// necessary".
 ///
 /// Returns the restart command's exit status (0 = the process is now
-/// running on `to_host`).
+/// running on `to_host`), and reports on stdout which side the process
+/// survived on when the migration did not complete.
 pub fn migrate(sys: &Sys, pid: Pid, from_host: &str, to_host: &str) -> SysResult<u32> {
-    let local = sys.gethostname_real().or_else(|_| sys.gethostname())?;
+    let out = migrate_with(sys, pid, from_host, to_host, RemoteRunner::Rsh)?;
+    report_survivor(sys, &out, from_host, to_host);
+    Ok(out.status)
+}
 
-    // Dump on the source machine.
-    let dump_status = if from_host == local {
-        let p = pid;
-        sys.run_local("dumpproc", move |s| match dumpproc(s, p) {
-            Ok(()) => 0,
-            Err(e) => e.as_u16() as u32,
-        })?
-    } else {
-        let p = pid;
-        sys.rsh(from_host, "dumpproc", move |s| match dumpproc(s, p) {
-            Ok(()) => 0,
-            Err(e) => e.as_u16() as u32,
-        })?
+/// Writes the failure-atomicity report line (best-effort; the command
+/// may have no terminal).
+pub fn report_survivor(sys: &Sys, out: &MigrateOutcome, from_host: &str, to_host: &str) {
+    let line = match out.survivor {
+        Survivor::Target => format!("migrate: process now runs on {to_host}\n"),
+        Survivor::Source => format!(
+            "migrate: failed (status {}); process survives on {from_host}\n",
+            out.status
+        ),
+        Survivor::Lost => format!(
+            "migrate: FAILED (status {}); process lost — runs on neither {from_host} nor {to_host}\n",
+            out.status
+        ),
     };
-    if dump_status != 0 {
-        return Ok(dump_status);
+    let _ = sys.write(1, line.as_bytes());
+}
+
+/// The failure-atomic migration engine behind [`migrate`] and the §7
+/// daemon path: dump with retries, verify every dump file decodes,
+/// restart with retries, fall back to restarting at the *source* when
+/// the target cannot take the process, and clean `/usr/tmp` up on every
+/// exit path.
+pub fn migrate_with(
+    sys: &Sys,
+    pid: Pid,
+    from_host: &str,
+    to_host: &str,
+    runner: RemoteRunner,
+) -> SysResult<MigrateOutcome> {
+    let local = sys.gethostname_real().or_else(|_| sys.gethostname())?;
+    // The dump files as seen from *this* command's machine.
+    let prefix = if from_host == local {
+        String::new()
+    } else {
+        format!("/n/{from_host}")
+    };
+
+    // Phases 1+2, fused: dump at the source, then verify all three dump
+    // files fully decode while they are still the only recoverable copy
+    // of the process — a migration must never delete dumps, or walk
+    // away from them, on the strength of files it has not actually
+    // read. The pair retries together because a dump failure (and a
+    // verify failure with the victim still alive — a torn write the
+    // kernel survived) can be redone from scratch with a fresh SIGDUMP.
+    let mut status = 0u32;
+    let mut dumps_ok = false;
+    let mut victim_alive = true;
+    for attempt in 0..MIGRATE_TRIES {
+        if attempt > 0 {
+            sys.sleep_us(MIGRATE_BACKOFF_US << (attempt - 1))?;
+        }
+        let r = run_on(sys, runner, from_host, &local, "dumpproc", move |s| {
+            match dumpproc(s, pid) {
+                Ok(()) => 0,
+                Err(e) => e.as_u16() as u32,
+            }
+        });
+        // Transport failures (a dead rsh session, a faulted daemon)
+        // fold into the status: the dump did not happen either way.
+        status = match r {
+            Ok(s) => s,
+            Err(e) => e.as_u16() as u32,
+        };
+        if status != 0 {
+            // A failed dump leaves the victim alive at the source (the
+            // kernel does not kill a process it could not save); sweep
+            // the torn leftovers and retry.
+            cleanup_dumps(sys, &prefix, pid);
+            if transient(status as u16) {
+                continue;
+            }
+            break;
+        }
+        match verify_dumps(sys, &prefix, pid) {
+            Ok(()) => {
+                dumps_ok = true;
+                break;
+            }
+            Err(e) => {
+                status = e.as_u16() as u32;
+                // Only a live victim can be re-dumped. A dead one's
+                // dumps are its last copy: never sweep those on a
+                // retry, drop to the recovery path below instead.
+                victim_alive = probe_alive(sys, runner, from_host, &local, pid)?;
+                if !victim_alive {
+                    break;
+                }
+                cleanup_dumps(sys, &prefix, pid);
+                if transient(status as u16) {
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+    if !dumps_ok {
+        if victim_alive {
+            // Nothing was ever irrevocably done: the process still runs
+            // at the source, and no usable dumps remain.
+            cleanup_dumps(sys, &prefix, pid);
+            return Ok(MigrateOutcome {
+                status,
+                survivor: Survivor::Source,
+            });
+        }
+        // The victim is dead and this command cannot vouch for its
+        // image — unreadable over a faulty mount, or genuinely corrupt.
+        // Recover at the *source*, where the dumps are plain local
+        // files and restart runs its own full verification; only when
+        // that too fails is the process lost, and the loss is reported
+        // loudly instead of a garbage restart.
+        let recover = restart_with_retry(sys, runner, from_host, &local, pid, from_host)?;
+        cleanup_dumps(sys, &prefix, pid);
+        return Ok(MigrateOutcome {
+            status,
+            survivor: if recover == 0 {
+                Survivor::Source
+            } else {
+                Survivor::Lost
+            },
+        });
     }
 
-    // Restart on the destination machine, reading the dump through
-    // /n/<from> when the two differ.
-    let args = RestartArgs {
-        pid,
-        dump_host: Some(from_host.to_string()),
-    };
-    let restart_status = if to_host == local {
-        sys.run_local("restart", move |s| restart(s, &args).as_u16() as u32)?
+    // Phase 3: restart on the destination, retrying transient transport
+    // failures. The dumps stay put until one restart has succeeded.
+    let restart_status = restart_with_retry(sys, runner, to_host, &local, pid, from_host)?;
+    if restart_status == 0 {
+        cleanup_dumps(sys, &prefix, pid);
+        return Ok(MigrateOutcome {
+            status: 0,
+            survivor: Survivor::Target,
+        });
+    }
+
+    // Phase 4: the target would not take it. Recover the process at the
+    // source from the same dumps so the user keeps a live copy.
+    let recover_status = restart_with_retry(sys, runner, from_host, &local, pid, from_host)?;
+    cleanup_dumps(sys, &prefix, pid);
+    Ok(MigrateOutcome {
+        status: restart_status,
+        survivor: if recover_status == 0 {
+            Survivor::Source
+        } else {
+            Survivor::Lost
+        },
+    })
+}
+
+/// Runs `prog` as a subcommand on `host`: locally when `host` is this
+/// machine, otherwise over the chosen transport.
+fn run_on(
+    sys: &Sys,
+    runner: RemoteRunner,
+    host: &str,
+    local: &str,
+    comm: &str,
+    prog: impl FnOnce(&Sys) -> u32 + Send + 'static,
+) -> SysResult<u32> {
+    if host == local {
+        sys.run_local(comm, prog)
     } else {
-        sys.rsh(to_host, "restart", move |s| {
+        match runner {
+            RemoteRunner::Rsh => sys.rsh(host, comm, prog),
+            RemoteRunner::Daemon => sys.daemon_spawn(host, comm, prog).map(|(status, _)| status),
+        }
+    }
+}
+
+/// Runs `restart` on `host` with transient-failure retries. A transport
+/// error (`rsh` could not even start the command) is retried here; a
+/// nonzero exit from a restart that *ran* is returned as-is — restart's
+/// own failures closed whatever they had opened, and the caller decides
+/// between target-retry and source-recovery.
+fn restart_with_retry(
+    sys: &Sys,
+    runner: RemoteRunner,
+    host: &str,
+    local: &str,
+    pid: Pid,
+    from_host: &str,
+) -> SysResult<u32> {
+    let mut status = 0u32;
+    for attempt in 0..MIGRATE_TRIES {
+        if attempt > 0 {
+            sys.sleep_us(MIGRATE_BACKOFF_US << (attempt - 1))?;
+        }
+        let args = RestartArgs {
+            pid,
+            dump_host: Some(from_host.to_string()),
+        };
+        let r = run_on(sys, runner, host, local, "restart", move |s| {
             restart(s, &args).as_u16() as u32
-        })?
-    };
-    Ok(restart_status)
+        });
+        status = match r {
+            Ok(s) => s,
+            Err(e) => e.as_u16() as u32,
+        };
+        if status == 0 || !transient(status as u16) {
+            break;
+        }
+    }
+    Ok(status)
+}
+
+/// Asks the source machine whether `pid` still runs there, by sending
+/// the no-op `SIGCONT` (harmless to a process that is not stopped).
+/// `ESRCH` is the only answer that means "dead"; any transport failure
+/// reads as "maybe alive", the conservative side — restarting dumps
+/// while the original may still run would *duplicate* the process.
+fn probe_alive(
+    sys: &Sys,
+    runner: RemoteRunner,
+    from_host: &str,
+    local: &str,
+    pid: Pid,
+) -> SysResult<bool> {
+    let mut status = 0u32;
+    for attempt in 0..MIGRATE_TRIES {
+        if attempt > 0 {
+            sys.sleep_us(MIGRATE_BACKOFF_US << (attempt - 1))?;
+        }
+        let r = run_on(sys, runner, from_host, local, "probe", move |s| {
+            match s.kill(pid, Signal::SIGCONT) {
+                Ok(()) => 0,
+                Err(e) => e.as_u16() as u32,
+            }
+        });
+        status = match r {
+            Ok(s) => s,
+            Err(e) => e.as_u16() as u32,
+        };
+        if !transient(status as u16) {
+            break;
+        }
+    }
+    Ok(status != Errno::ESRCH.as_u16() as u32)
+}
+
+/// Verifies the three dump files exist and fully decode — magic
+/// numbers, lengths, the lot — reading them through `prefix` (the
+/// `/n/<host>` mount when the dump is remote).
+fn verify_dumps(sys: &Sys, prefix: &str, pid: Pid) -> SysResult<()> {
+    let names = dump_file_names(pid);
+
+    // a.outXXXXX: valid header and a body at least as long as the
+    // header promises (a torn text/data segment must not pass).
+    let bytes = read_whole(sys, &format!("{prefix}{}", names.a_out))?;
+    let header = AoutHeader::decode(&bytes).map_err(|_| Errno::ENOEXEC)?;
+    let need = aout::AOUT_HEADER_LEN as u64 + header.a_text as u64 + header.a_data as u64;
+    if (bytes.len() as u64) < need {
+        return Err(Errno::ENOEXEC);
+    }
+
+    let bytes = read_whole(sys, &format!("{prefix}{}", names.files))?;
+    FilesFile::decode(&bytes).map_err(|_| Errno::EINVAL)?;
+
+    let bytes = read_whole(sys, &format!("{prefix}{}", names.stack))?;
+    StackFile::decode(&bytes).map_err(|_| Errno::EINVAL)?;
+    Ok(())
+}
+
+/// Reads a whole file, retrying transient NFS timeouts with backoff.
+fn read_whole(sys: &Sys, path: &str) -> SysResult<Vec<u8>> {
+    let mut last = Errno::EIO;
+    for attempt in 0..MIGRATE_TRIES {
+        if attempt > 0 {
+            sys.sleep_us(MIGRATE_BACKOFF_US << (attempt - 1))?;
+        }
+        let r = (|| {
+            let fd = sys.open(path, 0, 0)?;
+            let bytes = sys.read_all(fd);
+            let _ = sys.close(fd);
+            bytes
+        })();
+        match r {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) => {
+                last = e;
+                if !transient(e.as_u16()) {
+                    break;
+                }
+            }
+        }
+    }
+    Err(last)
+}
+
+/// Removes the three dump files (best-effort, two tries each: a dropped
+/// NFS Remove reply usually means the unlink *landed* anyway). Anything
+/// that still survives is for [`ukernel::World::host_reap_orphan_dumps`].
+pub fn cleanup_dumps(sys: &Sys, prefix: &str, pid: Pid) {
+    let names = dump_file_names(pid);
+    for name in [&names.a_out, &names.files, &names.stack] {
+        let path = format!("{prefix}{name}");
+        if sys.unlink(&path).is_err() {
+            let _ = sys.unlink(&path);
+        }
+    }
 }
 
 /// **`undump`**: combine an executable and a core dump into a new

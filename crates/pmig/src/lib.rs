@@ -26,5 +26,8 @@ pub mod resolve;
 pub mod workloads;
 
 pub use api::{find_restarted, migrate_process, MigrationError};
-pub use commands::{dumpproc, migrate, restart, undump_cmd, RestartArgs};
+pub use commands::{
+    dumpproc, migrate, migrate_with, restart, undump_cmd, MigrateOutcome, RemoteRunner,
+    RestartArgs, Survivor,
+};
 pub use resolve::resolve_links;

@@ -9,6 +9,9 @@
 
 use simtime::cost::{Cost, CostModel};
 
+pub mod fault;
+pub use fault::{FaultHit, FaultPlan, FaultSite, FaultSpec, NFS_SOFT_TIMEOUT_US};
+
 /// Ethernet maximum transmission unit (payload bytes per frame).
 pub const MTU: usize = 1500;
 

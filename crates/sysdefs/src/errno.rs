@@ -80,6 +80,8 @@ pub enum Errno {
     ENOTSOCK = 38,
     /// Operation not supported on socket.
     EOPNOTSUPP = 45,
+    /// Connection timed out.
+    ETIMEDOUT = 60,
     /// Connection refused.
     ECONNREFUSED = 61,
     /// Too many levels of symbolic links.
@@ -136,6 +138,7 @@ impl Errno {
             Errno::EPIPE => "EPIPE",
             Errno::ENOTSOCK => "ENOTSOCK",
             Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::ETIMEDOUT => "ETIMEDOUT",
             Errno::ECONNREFUSED => "ECONNREFUSED",
             Errno::ELOOP => "ELOOP",
             Errno::ENAMETOOLONG => "ENAMETOOLONG",
@@ -184,6 +187,7 @@ impl Errno {
             Errno::EPIPE => "broken pipe",
             Errno::ENOTSOCK => "socket operation on non-socket",
             Errno::EOPNOTSUPP => "operation not supported on socket",
+            Errno::ETIMEDOUT => "connection timed out",
             Errno::ECONNREFUSED => "connection refused",
             Errno::ELOOP => "too many levels of symbolic links",
             Errno::ENAMETOOLONG => "file name too long",

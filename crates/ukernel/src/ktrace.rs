@@ -48,6 +48,16 @@ pub enum KtraceEvent {
         /// The delivered result.
         result: KtraceResult,
     },
+    /// The fault-injection plan fired: `site` names the injection point
+    /// and `err` is the errno the faulted operation surfaced. Recording
+    /// every injection keeps faulty runs inside the determinism
+    /// contract — the snapshot includes these records.
+    Fault {
+        /// The injection site's canonical short name.
+        site: &'static str,
+        /// The errno the injected failure surfaced as.
+        err: Errno,
+    },
 }
 
 /// One ring entry.
@@ -77,6 +87,9 @@ impl KtraceRecord {
             }
             KtraceEvent::Complete { result } => {
                 format!("complete {}", render_result(result))
+            }
+            KtraceEvent::Fault { site, err } => {
+                format!("fault {site} err={err:?}")
             }
         };
         format!(
@@ -231,5 +244,21 @@ mod tests {
         );
         let line = k.render(None);
         assert_eq!(line.trim(), "#0 0us pid=3 open exit err=ENOENT charged=300us");
+    }
+
+    #[test]
+    fn fault_lines_are_canonical() {
+        let mut k = Ktrace::default();
+        k.push(
+            SimTime::BOOT,
+            Pid(5),
+            "fault",
+            KtraceEvent::Fault {
+                site: "nfs",
+                err: Errno::ETIMEDOUT,
+            },
+        );
+        let line = k.render(None);
+        assert_eq!(line.trim(), "#0 0us pid=5 fault fault nfs err=ETIMEDOUT");
     }
 }

@@ -72,6 +72,8 @@ pub struct MachineStats {
     pub dumps: u64,
     /// `rest_proc` restores completed.
     pub restores: u64,
+    /// Faults injected by the world's [`simnet::FaultPlan`].
+    pub faults_injected: u64,
     /// Kernel-side per-syscall aggregates (count, total and max charged
     /// simtime), keyed by trap-table name. Ordered so iteration — and
     /// the figures JSON built from it — is deterministic.

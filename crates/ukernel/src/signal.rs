@@ -8,6 +8,7 @@
 
 use aout::{encode_executable, CoreFile};
 use dumpfmt::{dump_file_names, FdRecord, FilesFile, StackFile};
+use simnet::FaultSite;
 use simtime::cost::Cost;
 use sysdefs::limits::NOFILE;
 use sysdefs::{DefaultAction, Disposition, Errno, FileMode, Pid, Signal, SysResult, TtyFlags};
@@ -81,10 +82,21 @@ pub fn deliver_pending(w: &mut World, mid: MachineId, pid: Pid) -> bool {
                     // The dump happens in the context of the dumped
                     // process — dumpproc must wait for the context
                     // switch, which is Figure 2's real-time story.
-                    let _ = write_migration_dump(w, mid, pid);
-                    w.machine_mut(mid).stats.dumps += 1;
-                    w.do_exit(mid, pid, 128 + sig.number());
-                    return false;
+                    //
+                    // The exit is gated on the dump: a process that
+                    // could not be saved (disk full, crash mid-write)
+                    // keeps running at the source. Killing it anyway
+                    // would leave *no* copy alive anywhere — the
+                    // failure-atomicity violation the whole fault layer
+                    // exists to catch.
+                    match write_migration_dump(w, mid, pid) {
+                        Ok(()) => {
+                            w.machine_mut(mid).stats.dumps += 1;
+                            w.do_exit(mid, pid, 128 + sig.number());
+                            return false;
+                        }
+                        Err(_) => continue,
+                    }
                 }
             },
         }
@@ -229,6 +241,10 @@ pub fn write_core(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
 
 /// **The `SIGDUMP` action**: write `a.outXXXXX`, `filesXXXXX` and
 /// `stackXXXXX` into `/usr/tmp`.
+///
+/// Fails without killing the caller: on any error (including injected
+/// ENOSPC or a crash torn mid-write) the process's pc is restored so it
+/// can keep running at the source.
 pub fn write_migration_dump(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
     if !w.config.track_names {
         return Err(Errno::EINVAL);
@@ -237,13 +253,31 @@ pub fn write_migration_dump(w: &mut World, mid: MachineId, pid: Pid) -> SysResul
     // the trap instruction so the restarted image re-issues the call
     // (old-Unix syscall restart semantics). The paper's test program is
     // dumped exactly like this: "killed after its first prompt for
-    // input".
-    {
+    // input". Remember the original pc: a failed dump must leave the
+    // survivor exactly as it was.
+    let orig_pc = {
         let p = w.proc_mut(mid, pid).ok_or(Errno::ESRCH)?;
+        let mut orig = None;
         if let (Some(rpc), Body::Vm(vm)) = (p.restart_pc, &mut p.body) {
+            orig = Some(vm.cpu.pc);
             vm.cpu.pc = rpc;
         }
+        orig
+    };
+    let r = dump_files(w, mid, pid);
+    if r.is_err() {
+        if let (Some(orig), Some(p)) = (orig_pc, w.proc_mut(mid, pid)) {
+            if let Body::Vm(vm) = &mut p.body {
+                vm.cpu.pc = orig;
+            }
+        }
     }
+    r
+}
+
+/// Gathers and writes the three dump files (the fallible middle of
+/// [`write_migration_dump`]).
+fn dump_files(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
 
     let (aout_bytes, files_file, stack_file, owner) = {
         let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
@@ -323,36 +357,62 @@ pub fn write_migration_dump(w: &mut World, mid: MachineId, pid: Pid) -> SysResul
     let names = dump_file_names(pid);
     let dir = sysdefs::limits::DUMP_DIR;
     let base = |p: &str| p.rsplit('/').next().unwrap_or(p).to_string();
+    let files_bytes = files_file.encode().map_err(|_| Errno::EINVAL)?;
+    let stack_bytes = stack_file.encode().map_err(|_| Errno::EINVAL)?;
     // The a.out dump "can be executed as an ordinary program": 0700.
-    kernel_write_file(
-        w,
-        mid,
-        pid,
-        dir,
-        &base(&names.a_out),
-        &aout_bytes,
-        FileMode(0o700),
-        owner.clone(),
-    )?;
-    kernel_write_file(
-        w,
-        mid,
-        pid,
-        dir,
-        &base(&names.files),
-        &files_file.encode(),
-        FileMode(0o600),
-        owner.clone(),
-    )?;
-    kernel_write_file(
-        w,
-        mid,
-        pid,
-        dir,
-        &base(&names.stack),
-        &stack_file.encode(),
-        FileMode(0o600),
-        owner,
-    )?;
+    let dumps: [(String, &[u8], FileMode); 3] = [
+        (base(&names.a_out), &aout_bytes, FileMode(0o700)),
+        (base(&names.files), &files_bytes, FileMode(0o600)),
+        (base(&names.stack), &stack_bytes, FileMode(0o600)),
+    ];
+
+    // Consult the fault plan before touching the disk. `/usr/tmp` full:
+    // the write at a plan-chosen point fails ENOSPC and the kernel
+    // unlinks what it already wrote — a clean, reported failure. Crash
+    // mid-dump: writing stops abruptly at a plan-chosen byte of a
+    // plan-chosen file, leaving complete earlier files plus one torn
+    // one on disk — nobody is left running to clean up, which is what
+    // the reaper sweep is for.
+    let enospc_roll = w.fault_fire(FaultSite::DumpEnospc, mid, pid, Errno::ENOSPC);
+    let crash_roll = if enospc_roll.is_none() {
+        w.fault_fire(FaultSite::MidDumpCrash, mid, pid, Errno::EIO)
+    } else {
+        None
+    };
+    let broken_at = enospc_roll.or(crash_roll).map(|roll| (roll % 3) as usize);
+
+    for (i, (name, bytes, mode)) in dumps.iter().enumerate() {
+        if broken_at == Some(i) {
+            if enospc_roll.is_some() {
+                // The failing create/write is still a disk round trip.
+                let c = w.config.cost.disk_create();
+                w.charge_kernel(mid, pid, c);
+                for (done, _, _) in dumps.iter().take(i) {
+                    kernel_unlink(w, mid, dir, done);
+                }
+                return Err(Errno::ENOSPC);
+            }
+            // Torn write: the crash cuts the file mid-byte-stream.
+            let roll = crash_roll.expect("crash branch");
+            let cut = if bytes.is_empty() {
+                0
+            } else {
+                ((roll / 3) % bytes.len() as u64) as usize
+            };
+            kernel_write_file(w, mid, pid, dir, name, &bytes[..cut], *mode, owner.clone())?;
+            return Err(Errno::EIO);
+        }
+        kernel_write_file(w, mid, pid, dir, name, bytes, *mode, owner.clone())?;
+    }
     Ok(())
+}
+
+/// Removes a kernel-written file, ignoring errors (cleanup path).
+fn kernel_unlink(w: &mut World, mid: MachineId, dir_path: &str, name: &str) {
+    let m = w.machine_mut(mid);
+    let comps = vpath::components(dir_path);
+    let Ok(vfs::WalkOutcome::Done(dir)) = m.fs.walk(m.fs.root(), &comps, None) else {
+        return;
+    };
+    let _ = m.fs.unlink(dir, name, &sysdefs::Credentials::root());
 }

@@ -75,10 +75,14 @@ impl<'w> SysCtx<'w> {
         self.w.charge_kernel(self.mid, self.pid, cost);
     }
 
-    /// Charges one NFS RPC to the caller as client.
-    pub fn charge_rpc(&mut self, op: NfsOp) {
-        let cost = self.w.charge_kernel_rpc(self.mid, self.pid, op);
+    /// Charges one NFS RPC to the caller as client. Fails with
+    /// `ETIMEDOUT` when the fault plan drops the RPC — the charged cost
+    /// (including the soft-mount timeout wait) still lands in the call's
+    /// accounting either way.
+    pub fn charge_rpc(&mut self, op: NfsOp) -> SysResult<()> {
+        let (cost, res) = self.w.charge_kernel_rpc(self.mid, self.pid, op);
         self.acct.charged = self.acct.charged.plus(cost);
+        res
     }
 
     /// Notes `n` bytes copied in from user space.

@@ -61,7 +61,7 @@ pub(crate) fn slurp(cx: &mut SysCtx<'_>, path: &str, want_exec: bool) -> SysResu
         let mut left = data.len();
         while left > 0 {
             let chunk = left.min(8192);
-            cx.charge_rpc(NfsOp::Read(chunk));
+            cx.charge_rpc(NfsOp::Read(chunk))?;
             left -= chunk;
         }
     }

@@ -37,13 +37,14 @@ fn split_parent(arg: &str) -> (String, String) {
 
 /// Charges a resolution: CPU per component, disk for cold paths, one RPC
 /// per remote lookup.
-fn charge_namei(cx: &mut SysCtx<'_>, res: &Resolved, cache_key: &str) {
+fn charge_namei(cx: &mut SysCtx<'_>, res: &Resolved, cache_key: &str) -> SysResult<()> {
     let cold = cx.machine_mut().touch_path(cache_key);
     let c = cx.cost().namei(res.components, cold);
     cx.charge(c);
     for _ in 0..res.remote_lookups {
-        cx.charge_rpc(NfsOp::Lookup);
+        cx.charge_rpc(NfsOp::Lookup)?;
     }
+    Ok(())
 }
 
 /// The §5.1 open-file name bookkeeping: allocate, combine and copy.
@@ -129,7 +130,7 @@ fn open_common(
     let resolved = namei(cx.w, mid, &cred, cwd, arg, FollowLast::Yes);
     let (fref, created) = match resolved {
         Ok(res) => {
-            charge_namei(cx, &res, &cache_key);
+            charge_namei(cx, &res, &cache_key)?;
             if flags.creat() && flags.excl() {
                 return Err(Errno::EEXIST);
             }
@@ -138,7 +139,7 @@ fn open_common(
         Err(Errno::ENOENT) if flags.creat() => {
             let (parent_arg, name) = split_parent(arg);
             let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
-            charge_namei(cx, &parent, &format!("{cache_key}#parent"));
+            charge_namei(cx, &parent, &format!("{cache_key}#parent"))?;
             let ino = cx.w.fs_mut(parent.fref.machine).create_file(
                 parent.fref.ino,
                 &name,
@@ -148,7 +149,7 @@ fn open_common(
             let c = cx.cost().disk_create();
             cx.charge(c);
             if parent.fref.machine != mid {
-                cx.charge_rpc(NfsOp::Create);
+                cx.charge_rpc(NfsOp::Create)?;
             }
             (
                 FileRef {
@@ -198,7 +199,7 @@ fn open_common(
         if let FileKind::Local(ino) | FileKind::Remote { ino, .. } = kind {
             cx.w.fs_mut(fref.machine).truncate(ino)?;
             if fref.machine != mid {
-                cx.charge_rpc(NfsOp::Setattr);
+                cx.charge_rpc(NfsOp::Setattr)?;
             }
         }
     }
@@ -340,7 +341,11 @@ pub fn sys_read(cx: &mut SysCtx<'_>, fd: usize, len: usize) -> SyscallResult {
                 Ok(d) => d,
                 Err(e) => return done(Err(e)),
             };
-            cx.charge_rpc(NfsOp::Read(data.len()));
+            // A dropped RPC loses the reply: the client sees ETIMEDOUT
+            // and the offset does not advance.
+            if let Err(e) = cx.charge_rpc(NfsOp::Read(data.len())) {
+                return done(Err(e));
+            }
             cx.copied_out(data.len());
             cx.machine_mut().files.get_mut(idx).expect("live").offset += data.len() as u64;
             done(Ok(SysRetval::with_data(data.len() as u32, data)))
@@ -448,7 +453,13 @@ pub fn sys_write(cx: &mut SysCtx<'_>, fd: usize, bytes: &[u8]) -> SyscallResult 
             };
             match cx.w.fs_mut(host).write(ino, off, bytes) {
                 Ok(n) => {
-                    cx.charge_rpc(NfsOp::Write(n));
+                    // A dropped reply after the server applied the write:
+                    // the data landed but the client sees ETIMEDOUT and
+                    // the offset does not advance — NFS's at-least-once
+                    // ambiguity, preserved on purpose.
+                    if let Err(e) = cx.charge_rpc(NfsOp::Write(n)) {
+                        return done(Err(e));
+                    }
                     cx.machine_mut().files.get_mut(idx).expect("live").offset = off + n as u64;
                     done(Ok(SysRetval::ok(n as u32)))
                 }
@@ -654,7 +665,7 @@ pub fn sys_chdir(cx: &mut SysCtx<'_>, arg: &str) -> SyscallResult {
         if !cx.w.machine(res.fref.machine).fs.inode(res.fref.ino)?.is_dir() {
             return Err(Errno::ENOTDIR);
         }
-        charge_namei(cx, &res, &cache_key);
+        charge_namei(cx, &res, &cache_key)?;
 
         // §5.1: "After each successful call to chdir() ... if the
         // argument ... is an absolute path name, it is simply copied to
@@ -698,9 +709,9 @@ pub fn sys_stat(cx: &mut SysCtx<'_>, arg: &str) -> SyscallResult {
         let cwd = cx.cwd()?;
         let cache_key = format!("{mid}:{}:{}:{arg}", cwd.machine, cwd.ino);
         let res = namei(cx.w, mid, &cred, cwd, arg, FollowLast::Yes)?;
-        charge_namei(cx, &res, &cache_key);
+        charge_namei(cx, &res, &cache_key)?;
         if res.fref.machine != mid {
-            cx.charge_rpc(NfsOp::Getattr);
+            cx.charge_rpc(NfsOp::Getattr)?;
         }
         let size = cx.w.machine(res.fref.machine).fs.file_len(res.fref.ino)?;
         Ok(SysRetval::ok(size as u32))
@@ -716,14 +727,14 @@ pub fn sys_unlink(cx: &mut SysCtx<'_>, arg: &str) -> SyscallResult {
         let (parent_arg, name) = split_parent(arg);
         let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
         let cache_key = format!("{mid}:{}:{}:{arg}#unlink", cwd.machine, cwd.ino);
-        charge_namei(cx, &parent, &cache_key);
+        charge_namei(cx, &parent, &cache_key)?;
         cx.w
             .fs_mut(parent.fref.machine)
             .unlink(parent.fref.ino, &name, &cred)?;
         let c = cx.cost().disk_create(); // Directory update, same class.
         cx.charge(c);
         if parent.fref.machine != mid {
-            cx.charge_rpc(NfsOp::Remove);
+            cx.charge_rpc(NfsOp::Remove)?;
         }
         Ok(SysRetval::ok(0))
     })())
@@ -741,7 +752,7 @@ pub fn sys_link(cx: &mut SysCtx<'_>, old: &str, new: &str) -> SyscallResult {
         if target.fref.machine != parent.fref.machine {
             return Err(Errno::EXDEV);
         }
-        charge_namei(cx, &target, &format!("{mid}:link:{old}"));
+        charge_namei(cx, &target, &format!("{mid}:link:{old}"))?;
         cx.w
             .fs_mut(parent.fref.machine)
             .link(parent.fref.ino, &name, target.fref.ino, &cred)?;
@@ -759,7 +770,7 @@ pub fn sys_symlink(cx: &mut SysCtx<'_>, target: &str, link: &str) -> SyscallResu
         let cwd = cx.cwd()?;
         let (parent_arg, name) = split_parent(link);
         let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
-        charge_namei(cx, &parent, &format!("{mid}:symlink:{link}"));
+        charge_namei(cx, &parent, &format!("{mid}:symlink:{link}"))?;
         cx.w
             .fs_mut(parent.fref.machine)
             .symlink(parent.fref.ino, &name, target, &cred)?;
@@ -778,10 +789,10 @@ pub fn sys_readlink(cx: &mut SysCtx<'_>, arg: &str, buf_len: usize) -> SyscallRe
         let cwd = cx.cwd()?;
         let cache_key = format!("{mid}:{}:{}:{arg}#rl", cwd.machine, cwd.ino);
         let res = namei(cx.w, mid, &cred, cwd, arg, FollowLast::No)?;
-        charge_namei(cx, &res, &cache_key);
+        charge_namei(cx, &res, &cache_key)?;
         let target = cx.w.machine(res.fref.machine).fs.readlink(res.fref.ino)?;
         if res.fref.machine != mid {
-            cx.charge_rpc(NfsOp::Readlink);
+            cx.charge_rpc(NfsOp::Readlink)?;
         }
         let bytes: Vec<u8> = target.into_bytes();
         let n = bytes.len().min(buf_len);
@@ -798,14 +809,14 @@ pub fn sys_mkdir(cx: &mut SysCtx<'_>, arg: &str, mode: u16) -> SyscallResult {
         let cwd = cx.cwd()?;
         let (parent_arg, name) = split_parent(arg);
         let parent = namei(cx.w, mid, &cred, cwd, &parent_arg, FollowLast::Yes)?;
-        charge_namei(cx, &parent, &format!("{mid}:mkdir:{arg}"));
+        charge_namei(cx, &parent, &format!("{mid}:mkdir:{arg}"))?;
         cx.w
             .fs_mut(parent.fref.machine)
             .mkdir(parent.fref.ino, &name, FileMode(mode), &cred)?;
         let c = cx.cost().disk_create();
         cx.charge(c);
         if parent.fref.machine != mid {
-            cx.charge_rpc(NfsOp::Create);
+            cx.charge_rpc(NfsOp::Create)?;
         }
         Ok(SysRetval::ok(0))
     })())

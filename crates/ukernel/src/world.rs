@@ -1,7 +1,7 @@
 //! The world: machines, terminals, the Ethernet, and the scheduler.
 
 use m68vm::{IsaLevel, StepEvent};
-use simnet::{Ethernet, NfsOp, RshPhase};
+use simnet::{Ethernet, FaultPlan, FaultSite, NfsOp, RshPhase, NFS_SOFT_TIMEOUT_US};
 use simtime::cost::Cost;
 use simtime::{SimDuration, SimTime};
 use sysdefs::{Credentials, Errno, Pid, Signal, SysResult};
@@ -49,6 +49,8 @@ pub struct World {
     /// Waiters whose remote command was started through the migration
     /// daemon rather than `rsh` (no teardown cost on completion).
     daemon_waiters: std::collections::BTreeSet<(MachineId, u32)>,
+    /// The armed fault-injection plan (empty by default: nothing fires).
+    pub faults: FaultPlan,
 }
 
 impl World {
@@ -62,6 +64,7 @@ impl World {
             finished: std::collections::BTreeMap::new(),
             overlaid: std::collections::BTreeMap::new(),
             daemon_waiters: std::collections::BTreeSet::new(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -234,15 +237,95 @@ impl World {
         self.machines[mid].charge_sys(Some(pid), cost);
     }
 
-    /// Charges one NFS RPC to the client and returns the charged cost.
-    /// Same contract as [`World::charge_kernel`]: handlers go through
+    /// Consults the fault plan for one eligible event at `site` on
+    /// `mid`. When a rule fires: bumps the machine's injection counter,
+    /// cuts a ktrace `Fault` record (part of the determinism snapshot),
+    /// and returns the hit's secondary roll.
+    pub fn fault_fire(
+        &mut self,
+        site: FaultSite,
+        mid: MachineId,
+        pid: Pid,
+        err: Errno,
+    ) -> Option<u64> {
+        if self.faults.is_empty() {
+            return None;
+        }
+        let now_us = self.machines[mid].now.as_micros();
+        let hit = self.faults.fire(site, mid, now_us)?;
+        let m = &mut self.machines[mid];
+        m.stats.faults_injected += 1;
+        m.ktrace.push(
+            m.now,
+            pid,
+            "fault",
+            crate::ktrace::KtraceEvent::Fault {
+                site: site.name(),
+                err,
+            },
+        );
+        Some(hit.roll)
+    }
+
+    /// Sweeps `/usr/tmp` on `mid` for dump files no live migration owns
+    /// — the `a.outXXXXX`/`filesXXXXX`/`stackXXXXX` triples a
+    /// source-machine crash strands — and unlinks them. Returns the
+    /// names removed, sorted, so callers can report (and tests assert)
+    /// exactly what was reaped.
+    pub fn host_reap_orphan_dumps(&mut self, mid: MachineId) -> Vec<String> {
+        let m = &mut self.machines[mid];
+        let comps = vpath::components(sysdefs::limits::DUMP_DIR);
+        let Ok(vfs::WalkOutcome::Done(dir)) = m.fs.walk(m.fs.root(), &comps, None) else {
+            return Vec::new();
+        };
+        let Ok(names) = m.fs.readdir(dir) else {
+            return Vec::new();
+        };
+        let mut reaped = Vec::new();
+        for name in names {
+            let suffix = ["a.out", "files", "stack"]
+                .iter()
+                .find_map(|p| name.strip_prefix(p));
+            let is_dump = matches!(suffix, Some(s)
+                if s.len() == 5 && s.bytes().all(|b| b.is_ascii_digit()));
+            if is_dump && m.fs.unlink(dir, &name, &sysdefs::Credentials::root()).is_ok() {
+                reaped.push(name);
+            }
+        }
+        reaped.sort();
+        reaped
+    }
+
+    /// Charges one NFS RPC to the client; returns the charged cost and
+    /// whether the RPC survived the fault plan. Same contract as
+    /// [`World::charge_kernel`]: handlers go through
     /// `SysCtx::charge_rpc`, kernel paths may call this directly.
-    pub fn charge_kernel_rpc(&mut self, mid: MachineId, pid: Pid, op: NfsOp) -> Cost {
+    ///
+    /// When the fault plan drops this RPC the client still pays the op's
+    /// cost *plus* the soft-mount retransmission window, and the call
+    /// surfaces `ETIMEDOUT`. The server-side mutation may have landed
+    /// anyway — exactly the at-least-once ambiguity a dropped NFS reply
+    /// gives a real client — so callers must treat `ETIMEDOUT` as
+    /// "unknown", not "not done".
+    pub fn charge_kernel_rpc(
+        &mut self,
+        mid: MachineId,
+        pid: Pid,
+        op: NfsOp,
+    ) -> (Cost, SysResult<()>) {
         let cost = op.cost(&self.config.cost, &mut self.ether);
         let m = &mut self.machines[mid];
         m.stats.nfs_rpcs += 1;
         m.charge_sys(Some(pid), cost);
-        cost
+        if self
+            .fault_fire(FaultSite::NfsOp, mid, pid, Errno::ETIMEDOUT)
+            .is_some()
+        {
+            let wait = Cost::wait_us(NFS_SOFT_TIMEOUT_US);
+            self.machines[mid].charge_sys(Some(pid), wait);
+            return (cost.plus(wait), Err(Errno::ETIMEDOUT));
+        }
+        (cost, Ok(()))
     }
 
     // ------------------------------------------------------------------
@@ -1100,6 +1183,20 @@ impl World {
                     // the daemon's fork/exec of the command.
                     let msg = self.ether.send(&self.config.cost, 256);
                     self.machines[mid].charge_sys(Some(pid), msg);
+                    // The daemon's port may be dead (machine down, no
+                    // migrated running) — the message is paid for, the
+                    // connection fails.
+                    if self
+                        .fault_fire(FaultSite::Rsh, mid, pid, Errno::EHOSTDOWN)
+                        .is_some()
+                    {
+                        let _ = resp_tx.send(Response {
+                            val: Err(Errno::EHOSTDOWN),
+                            data: Vec::new(),
+                            overlaid: false,
+                        });
+                        continue;
+                    }
                     let dispatch = Cost::cpu_us(20_000).plus(Cost::wait_us(100_000));
                     self.machines[mid].charge_sys(Some(pid), dispatch);
                     let client_now = self.machines[mid].now;
@@ -1127,6 +1224,10 @@ impl World {
                     };
                     // Connection establishment, all charged to the
                     // caller's clock before the remote command starts.
+                    // Any phase can fail (rshd unreachable, `.rhosts`
+                    // refusal, remote fork failure); the caller pays for
+                    // every phase up to and including the one that died.
+                    let mut session_up = true;
                     for phase in [
                         RshPhase::NameLookup,
                         RshPhase::Connect,
@@ -1135,6 +1236,21 @@ impl World {
                     ] {
                         let c = phase.cost(&self.config.cost);
                         self.machines[mid].charge_sys(Some(pid), c);
+                        if self
+                            .fault_fire(FaultSite::Rsh, mid, pid, Errno::EHOSTDOWN)
+                            .is_some()
+                        {
+                            session_up = false;
+                            break;
+                        }
+                    }
+                    if !session_up {
+                        let _ = resp_tx.send(Response {
+                            val: Err(Errno::EHOSTDOWN),
+                            data: Vec::new(),
+                            overlaid: false,
+                        });
+                        continue;
                     }
                     // The remote side starts no earlier than the client's
                     // current time.

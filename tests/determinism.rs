@@ -25,7 +25,16 @@ fn alice() -> Credentials {
 /// Runs the full migrate scenario and renders everything observable
 /// about the final world into one canonical string.
 fn run_scenario() -> String {
+    run_scenario_with(simnet::FaultPlan::none(), true)
+}
+
+/// The same scenario under an injected-fault plan. `require_success`
+/// is off for faulty runs: the engine may legitimately finish with the
+/// process back at the source; determinism is about the *trajectory*
+/// being identical, not about it being the happy path.
+fn run_scenario_with(faults: simnet::FaultPlan, require_success: bool) -> String {
     let mut w = World::new(KernelConfig::paper());
+    w.faults = faults;
     let brick = w.add_machine("brick", IsaLevel::Isa1);
     let schooner = w.add_machine("schooner", IsaLevel::Isa1);
     let _third = w.add_machine("third", IsaLevel::Isa1);
@@ -49,9 +58,11 @@ fn run_scenario() -> String {
         }),
     );
     let info = w
-        .run_until_exit(schooner, cmd, 8_000_000)
+        .run_until_exit(schooner, cmd, 30_000_000)
         .expect("migrate command exits");
-    assert_eq!(info.status, 0, "migrate must succeed");
+    if require_success {
+        assert_eq!(info.status, 0, "migrate must succeed");
+    }
 
     snapshot(&w, &victim_tty.output_text())
 }
@@ -75,8 +86,16 @@ fn snapshot(w: &World, victim_tty: &str) -> String {
         let s = &m.stats;
         writeln!(
             out,
-            "  stats sys={} ctx={} sig={} rpc={} fork={} exec={} dump={} rest={}",
-            s.syscalls, s.ctx_switches, s.signals, s.nfs_rpcs, s.forks, s.execs, s.dumps, s.restores
+            "  stats sys={} ctx={} sig={} rpc={} fork={} exec={} dump={} rest={} faults={}",
+            s.syscalls,
+            s.ctx_switches,
+            s.signals,
+            s.nfs_rpcs,
+            s.forks,
+            s.execs,
+            s.dumps,
+            s.restores,
+            s.faults_injected
         )
         .unwrap();
         for (pid, p) in &m.procs {
@@ -178,5 +197,29 @@ fn migrate_scenario_is_bit_identical_across_runs() {
     assert_eq!(
         first, second,
         "two identical runs diverged — a nondeterminism bug simlint's rules exist to prevent"
+    );
+}
+
+/// The injected-fault extension of the same contract: with a nonzero
+/// fault seed in the plan, two runs must still be bit-identical — the
+/// injected faults themselves are simulation events, recorded in the
+/// ktrace ring the snapshot includes.
+#[test]
+fn faulty_migrate_with_same_fault_seed_is_bit_identical() {
+    use simnet::{FaultPlan, FaultSite, FaultSpec};
+    let plan = || {
+        FaultPlan::seeded(0xDECAF)
+            .with(FaultSpec::always(FaultSite::MidDumpCrash, 1))
+            .with(FaultSpec::always(FaultSite::NfsOp, 2))
+    };
+    let first = run_scenario_with(plan(), false);
+    let second = run_scenario_with(plan(), false);
+    assert!(
+        first.contains(" fault "),
+        "injected faults must appear in the ktrace snapshot:\n{first}"
+    );
+    assert_eq!(
+        first, second,
+        "two runs with the same fault seed diverged — injected faults must be deterministic"
     );
 }

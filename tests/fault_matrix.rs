@@ -1,0 +1,338 @@
+//! The failure-atomicity contract under corruption and injected faults.
+//!
+//! The invariant (ISSUE 5, after Milanés et al.): a migration, however
+//! it fails, must leave **exactly one** live copy of the process —
+//! source or target, never neither, never both — and must not strand
+//! dump files in `/usr/tmp`.
+//!
+//! Three angles:
+//! * a corruption matrix for `restart` — every way a dump file can lie
+//!   (bad magic, truncated body, fd-count/stack-length mismatch, torn
+//!   write from an injected mid-dump crash) fails cleanly with the
+//!   right errno and leaves no process or descriptor residue;
+//! * the orphan-dump reaper sweeps exactly the `a.outXXXXX` /
+//!   `filesXXXXX` / `stackXXXXX` triples and nothing else;
+//! * the full soak matrix (every injection site × a remote-remote
+//!   `migrate`) holds the one-live-copy / zero-dumps invariant.
+
+use m68vm::{assemble, IsaLevel};
+use simnet::{FaultPlan, FaultSite, FaultSpec};
+use simtime::SimDuration;
+use sysdefs::{Credentials, Errno, Gid, Pid, Uid};
+use ukernel::{KernelConfig, World};
+
+fn alice() -> Credentials {
+    Credentials::user(Uid(100), Gid(10))
+}
+
+/// One machine with the §6.2 test program stopped at its first prompt.
+fn world_with_victim() -> (World, usize, Pid) {
+    let mut w = World::new(KernelConfig::paper());
+    let m = w.add_machine("brick", IsaLevel::Isa1);
+    let obj = assemble(pmig::workloads::TEST_PROGRAM).unwrap();
+    w.install_program(m, "/bin/testprog", &obj).unwrap();
+    let (tty, _handle) = w.add_terminal(m);
+    let victim = w
+        .spawn_vm_proc(m, "/bin/testprog", Some(tty), alice())
+        .unwrap();
+    w.run_slices(50_000);
+    (w, m, victim)
+}
+
+/// [`world_with_victim`] plus a completed `dumpproc`, so the three dump
+/// files sit in `/usr/tmp` ready to be corrupted.
+fn dumped_world() -> (World, usize, Pid) {
+    let (mut w, m, victim) = world_with_victim();
+    let status = pmig::api::run_dumpproc(&mut w, m, victim, alice()).unwrap();
+    assert_eq!(status, 0, "clean dumpproc must succeed");
+    (w, m, victim)
+}
+
+/// Applies `corrupt` to the dump files, runs `restart`, and checks it
+/// fails with exactly `want` — leaving no half-restarted process behind
+/// and the dump files still in place for a later recovery attempt.
+fn restart_must_fail(corrupt: impl FnOnce(&mut World, usize, &dumpfmt::DumpFileNames), want: Errno) {
+    let (mut w, m, victim) = dumped_world();
+    let names = dumpfmt::dump_file_names(victim);
+    corrupt(&mut w, m, &names);
+    let err = pmig::api::run_restart(
+        &mut w,
+        m,
+        pmig::RestartArgs {
+            pid: victim,
+            dump_host: None,
+        },
+        None,
+        alice(),
+    )
+    .expect_err("restart of corrupt dumps must fail");
+    match err {
+        pmig::MigrationError::Failed(status) => {
+            assert_eq!(status, want.as_u16() as u32, "wrong errno for this corruption");
+        }
+        other => panic!("unexpected failure mode: {other}"),
+    }
+    assert!(
+        w.machine(m)
+            .procs
+            .values()
+            .all(|p| p.comm != "restart" && !p.comm.starts_with("a.out")),
+        "a failed restart must leave no process residue"
+    );
+    // restart never deletes dumps — that is migrate's job, and only
+    // after it has settled where the live copy is.
+    assert!(w.host_read_file(m, &names.a_out).is_ok());
+    assert!(w.host_read_file(m, &names.files).is_ok());
+    assert!(w.host_read_file(m, &names.stack).is_ok());
+}
+
+fn patch(w: &mut World, m: usize, path: &str, f: impl FnOnce(Vec<u8>) -> Vec<u8>) {
+    let bytes = w.host_read_file(m, path).unwrap();
+    let bytes = f(bytes);
+    w.host_write_file(m, path, &bytes).unwrap();
+}
+
+#[test]
+fn restart_rejects_bad_aout_magic() {
+    restart_must_fail(
+        |w, m, names| {
+            patch(w, m, &names.a_out, |mut b| {
+                b[0] ^= 0xff;
+                b
+            })
+        },
+        Errno::ENOEXEC,
+    );
+}
+
+#[test]
+fn restart_rejects_truncated_aout_body() {
+    // The header survives, the text/data segments do not: restart's own
+    // magic check passes and rest_proc's full parse catches the tear.
+    restart_must_fail(
+        |w, m, names| {
+            patch(w, m, &names.a_out, |mut b| {
+                b.truncate(40);
+                b
+            })
+        },
+        Errno::ENOEXEC,
+    );
+}
+
+#[test]
+fn restart_rejects_bad_files_magic() {
+    restart_must_fail(
+        |w, m, names| {
+            patch(w, m, &names.files, |mut b| {
+                b[1] ^= 0xff;
+                b
+            })
+        },
+        Errno::EINVAL,
+    );
+}
+
+#[test]
+fn restart_rejects_truncated_files_body() {
+    restart_must_fail(
+        |w, m, names| {
+            patch(w, m, &names.files, |mut b| {
+                b.truncate(b.len() - 3);
+                b
+            })
+        },
+        Errno::EINVAL,
+    );
+}
+
+#[test]
+fn restart_rejects_fd_count_mismatch() {
+    // Inflate the on-wire fd count past the records actually present;
+    // the decoder must read it as a truncation, not index off the end.
+    restart_must_fail(
+        |w, m, names| {
+            patch(w, m, &names.files, |mut b| {
+                let host_len = u16::from_be_bytes([b[2], b[3]]) as usize;
+                let cwd_off = 4 + host_len;
+                let cwd_len = u16::from_be_bytes([b[cwd_off], b[cwd_off + 1]]) as usize;
+                let count_off = cwd_off + 2 + cwd_len;
+                let count = u16::from_be_bytes([b[count_off], b[count_off + 1]]);
+                b[count_off..count_off + 2].copy_from_slice(&(count + 5).to_be_bytes());
+                b
+            })
+        },
+        Errno::EINVAL,
+    );
+}
+
+#[test]
+fn restart_rejects_bad_stack_magic() {
+    restart_must_fail(
+        |w, m, names| {
+            patch(w, m, &names.stack, |mut b| {
+                b[1] ^= 0xff;
+                b
+            })
+        },
+        Errno::EINVAL,
+    );
+}
+
+#[test]
+fn restart_rejects_stack_length_mismatch() {
+    // The credentials header is intact, so restart's user-level peek
+    // passes; the kernel's full decode inside rest_proc must flag the
+    // inflated stack length as a truncated file.
+    restart_must_fail(
+        |w, m, names| {
+            patch(w, m, &names.stack, |mut b| {
+                let len_off = 2 + 16;
+                let len = u32::from_be_bytes([b[len_off], b[len_off + 1], b[len_off + 2], b[len_off + 3]]);
+                b[len_off..len_off + 4].copy_from_slice(&(len + 100).to_be_bytes());
+                b
+            })
+        },
+        Errno::ENOEXEC,
+    );
+}
+
+#[test]
+fn torn_write_from_injected_mid_dump_crash_fails_cleanly() {
+    let (mut w, m, victim) = world_with_victim();
+    w.faults = FaultPlan::seeded(7).with(FaultSpec::always(FaultSite::MidDumpCrash, 1));
+    let status = pmig::api::run_dumpproc(&mut w, m, victim, alice()).unwrap();
+    // The injected crash tears one of the three files mid-write. Which
+    // one decides what dumpproc sees (a missing file, a corrupt table,
+    // or — when the stack tore — nothing at all); every branch must
+    // fail cleanly downstream.
+    if status != 0 {
+        assert!(
+            w.proc_ref(m, victim).is_some(),
+            "the kernel must not kill a process it could not save"
+        );
+    }
+    let r = pmig::api::run_restart(
+        &mut w,
+        m,
+        pmig::RestartArgs {
+            pid: victim,
+            dump_host: None,
+        },
+        None,
+        alice(),
+    );
+    match r {
+        Err(pmig::MigrationError::Failed(s)) => assert_ne!(s, 0),
+        Err(other) => panic!("unexpected failure mode: {other}"),
+        Ok(pid) => panic!("restart of a torn dump must not succeed (got pid {pid})"),
+    }
+    assert!(
+        w.machine(m)
+            .procs
+            .values()
+            .all(|p| !p.comm.starts_with("a.out")),
+        "no half-restarted residue"
+    );
+    // The reaper clears whatever the tear left behind; a second sweep
+    // finds nothing.
+    w.host_reap_orphan_dumps(m);
+    assert!(w.host_reap_orphan_dumps(m).is_empty());
+}
+
+#[test]
+fn dumpproc_times_out_when_dump_never_appears() {
+    let (mut w, m, victim) = world_with_victim();
+    // Every dump attempt dies of ENOSPC, so a.outXXXXX never appears;
+    // the poll must give up on its simtime deadline instead of spinning
+    // on ENOENT forever.
+    w.faults = FaultPlan::seeded(1).with(FaultSpec::always(FaultSite::DumpEnospc, u32::MAX));
+    let status = pmig::api::run_dumpproc(&mut w, m, victim, alice()).unwrap();
+    assert_eq!(status, Errno::ETIMEDOUT.as_u16() as u32);
+    assert!(w.proc_ref(m, victim).is_some(), "victim keeps running");
+    // The ENOSPC path unlinks its own partial files.
+    assert!(w.host_reap_orphan_dumps(m).is_empty());
+}
+
+#[test]
+fn reaper_sweeps_only_orphan_dump_files() {
+    let mut w = World::new(KernelConfig::paper());
+    let m = w.add_machine("brick", IsaLevel::Isa1);
+    w.host_write_file(m, "/usr/tmp/a.out00042", b"torn").unwrap();
+    w.host_write_file(m, "/usr/tmp/files00042", b"torn").unwrap();
+    w.host_write_file(m, "/usr/tmp/stack00042", b"").unwrap();
+    w.host_write_file(m, "/usr/tmp/a.out-not-a-dump", b"keep")
+        .unwrap();
+    w.host_write_file(m, "/usr/tmp/notes.txt", b"keep").unwrap();
+    let reaped = w.host_reap_orphan_dumps(m);
+    assert_eq!(reaped, vec!["a.out00042", "files00042", "stack00042"]);
+    assert!(w.host_read_file(m, "/usr/tmp/notes.txt").is_ok());
+    assert!(w.host_read_file(m, "/usr/tmp/a.out-not-a-dump").is_ok());
+    assert!(w.host_read_file(m, "/usr/tmp/a.out00042").is_err());
+    assert!(w.host_reap_orphan_dumps(m).is_empty());
+}
+
+#[test]
+fn loadbal_survives_target_down() {
+    // Three machines, CPU hogs piled on node0, and a daemon transport
+    // that never comes back: every balancing migration fails, yet every
+    // job must still run to completion at the source and nothing may be
+    // stranded in /usr/tmp.
+    let mut w = World::new(KernelConfig::paper());
+    let a = w.add_machine("node0", IsaLevel::Isa1);
+    let _ = w.add_machine("node1", IsaLevel::Isa1);
+    let _ = w.add_machine("node2", IsaLevel::Isa1);
+    let obj = assemble(&pmig::workloads::cpu_hog_program(60)).unwrap();
+    w.install_program(a, "/bin/hog", &obj).unwrap();
+    let mut pids = Vec::new();
+    for _ in 0..4 {
+        pids.push(w.spawn_vm_proc(a, "/bin/hog", None, alice()).unwrap());
+    }
+    w.faults = FaultPlan::seeded(3).with(FaultSpec::always(FaultSite::Rsh, u32::MAX));
+    let lb = apps::LoadBalancer {
+        min_age: SimDuration::millis(100),
+        imbalance_threshold: 2,
+        cred: Credentials::root(),
+    };
+    let all_done = |w: &World| {
+        (0..w.machine_count()).all(|m| {
+            !w.machine(m)
+                .procs
+                .values()
+                .any(|p| p.comm.contains("hog") || p.comm.starts_with("a.out"))
+        })
+    };
+    let recs = lb.run_balanced(&mut w, 300_000, 200, all_done);
+    assert!(
+        recs.is_empty(),
+        "no migration can succeed with the transport down"
+    );
+    for pid in pids {
+        let info = w
+            .finished
+            .get(&(a, pid.as_u32()))
+            .expect("every hog finishes at the source");
+        assert_eq!(info.status, 0);
+    }
+    for m in 0..w.machine_count() {
+        assert!(w.host_reap_orphan_dumps(m).is_empty());
+    }
+}
+
+#[test]
+fn fault_soak_matrix_preserves_failure_atomicity() {
+    for row in bench::fault_soak(0xF00D) {
+        assert!(row.injected >= 1, "{}: the fault never fired", row.case);
+        assert_eq!(
+            row.live_copies, 1,
+            "{}: failure atomicity broken — {} live copies (survivor={}, status={})",
+            row.case, row.live_copies, row.survivor, row.status
+        );
+        assert_eq!(
+            row.dumps_left, 0,
+            "{}: {} dump files stranded in /usr/tmp",
+            row.case, row.dumps_left
+        );
+        assert_ne!(row.survivor, "lost", "{}: process lost", row.case);
+    }
+}
