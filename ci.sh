@@ -21,4 +21,10 @@ cargo run -p simlint --release
 # injected-fault site with a nonzero seed and asserts failure
 # atomicity — exactly one live copy, zero orphaned dump files.
 cargo run --release -p bench --bin figures -- fig1 fig2 fig3 faults
+# Cluster-scale scheduler bench, smoke tier: event vs scan at 16 and 64
+# hosts plus the at-scale fault soak (one live copy per workload
+# process, zero orphaned dumps). Writes BENCH_cluster.json; the full
+# tier (`figures cluster`) adds the 256-host comparison and the
+# 1024-host event-only point.
+cargo run --release -p bench --bin figures -- cluster-smoke
 cargo bench -p bench --bench simulator -- --test

@@ -21,8 +21,10 @@ pub mod checkpoint;
 pub mod loadbal;
 pub mod migrated;
 pub mod nightbatch;
+pub mod policy;
 
 pub use checkpoint::{restore_checkpoint, run_checkpointer, CheckpointPlan, CheckpointRecord};
 pub use loadbal::{LoadBalancer, MigrationRecord};
 pub use migrated::migrate_via_daemon;
 pub use nightbatch::NightBatch;
+pub use policy::{Decision, FirstTouch, LoadGradient, MigrationPolicy, PolicyEngine, Random};

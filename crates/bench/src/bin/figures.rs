@@ -8,6 +8,8 @@
 //! figures fig1 fig4       # selected experiments
 //! figures kernel          # kernel-side per-syscall aggregates
 //! figures faults          # fault-injection soak matrix
+//! figures cluster         # cluster-scale scheduler bench, full tier
+//! figures cluster-smoke   # same, CI-sized (writes BENCH_cluster.json)
 //! figures --json          # machine-readable output (EXPERIMENTS.md)
 //! ```
 
@@ -149,6 +151,65 @@ fn run_faults(json: bool) {
     }
 }
 
+fn run_cluster(json: bool, smoke: bool) {
+    // Smoke tier keeps CI fast; the full tier adds the 256-host
+    // scan/event comparison and the 1024-host event-only point.
+    let (sizes, scan_max): (&[usize], usize) = if smoke {
+        (&[16, 64], 64)
+    } else {
+        (&[16, 64, 256, 1024], 256)
+    };
+    let rows = scenarios::cluster(sizes, scan_max);
+    let soak = scenarios::cluster_soak(0xC1A5);
+    for r in &soak {
+        assert!(r.injected > 0, "{}: fault site never fired", r.case);
+        assert_eq!(
+            r.live, r.expected,
+            "{}: hog copies lost or duplicated under faults",
+            r.case
+        );
+        assert_eq!(r.dumps_left, 0, "{}: orphaned dump files", r.case);
+    }
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("cluster_sched".into())),
+        ("tier".into(), Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("rows".into(), rows.as_slice().to_json()),
+        ("fault_soak".into(), soak.as_slice().to_json()),
+    ]);
+    let text = to_string_pretty(&report);
+    // Land at the workspace root, independent of the cwd cargo uses.
+    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json");
+    std::fs::write(&dest, &text).expect("write BENCH_cluster.json");
+    if json {
+        println!("{text}");
+        return;
+    }
+    hr("Cluster: scheduler cost vs installation size (BENCH_cluster.json)");
+    println!(
+        "{:>6} {:<6} {:>10} {:>9} {:>12} {:>12} {:>10}",
+        "hosts", "sched", "slices", "host (s)", "events/s", "us/event", "migr/s"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:<6} {:>10} {:>9.3} {:>12.0} {:>12.3} {:>10.2}",
+            r.hosts, r.sched, r.slices, r.host_secs, r.events_per_sec, r.us_per_event,
+            r.migrations_per_sec
+        );
+    }
+    hr("Cluster fault soak: one live copy per hog, zero orphaned dumps");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>9} {:>6} {:>9} {:>11}",
+        "case", "hosts", "migr", "fail", "injected", "live", "expected", "dumps left"
+    );
+    for r in &soak {
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>9} {:>6} {:>9} {:>11}",
+            r.case, r.hosts, r.migrations, r.failures, r.injected, r.live, r.expected,
+            r.dumps_left
+        );
+    }
+}
+
 fn run_ablations(json: bool) {
     let daemon = scenarios::ablation_daemon();
     let virt = scenarios::ablation_virt();
@@ -235,6 +296,13 @@ fn main() {
     }
     if want("faults") {
         run_faults(json);
+    }
+    // `cluster` runs the full tier (incl. the 1024-host point); bare
+    // `figures` and `cluster-smoke` run the CI-sized smoke tier.
+    if picks.contains(&"cluster") {
+        run_cluster(json, false);
+    } else if all || picks.contains(&"cluster-smoke") {
+        run_cluster(json, true);
     }
     if all || picks.iter().any(|p| p.starts_with("ablation")) {
         run_ablations(json);

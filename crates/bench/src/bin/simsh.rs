@@ -23,7 +23,7 @@
 //!
 //! Commands: `boot <host> [isa2]`, `install <host> <path> <workload>`,
 //! `spawn <host> <path>`, `type <tty> <text>`, `keys <tty> <chars>`,
-//! `eof <tty>`, `screen <tty>`, `run <slices>`, `ps <host>`,
+//! `eof <tty>`, `screen <tty>`, `run <slices>`, `ps <host>`, `load`,
 //! `time <host>`, `ktrace <host> [n]`, `dumpproc <host> <pid>`,
 //! `restart <host> <pid> [dumphost]`, `migrate <pid> <from> <to>
 //! [cmdhost]`, `cat <host> <path>`, `help`, `quit`. Workloads: `testprog`, `editor`, `pidprog`,
@@ -76,6 +76,7 @@ commands:
   eof <tty>                       close a terminal (EOF to readers)
   screen <tty>                    show what a terminal displays
   ps <host>                       process listing
+  load                            per-host run-queue depth
   time <host>                     the machine's virtual clock
   ktrace <host> [n]               newest syscall trace records (all if no n)
   cat <host> <path>               print a file
@@ -179,6 +180,11 @@ fn dispatch(world: &mut World, parts: &[&str]) -> Result<(), String> {
         ["ps", host] => {
             let m = machine_by_name(world, host)?;
             print!("{}", world.ps(m));
+        }
+        ["load"] => {
+            for (m, depth) in world.run_queue_depths().into_iter().enumerate() {
+                println!("{:<12} {:>4} runnable", world.machine(m).name, depth);
+            }
         }
         ["time", host] => {
             let m = machine_by_name(world, host)?;

@@ -808,6 +808,234 @@ pub fn fault_soak(seed: u64) -> Vec<FaultSoakRow> {
 }
 
 // ---------------------------------------------------------------------
+// Cluster-scale scheduler bench: events/sec and migrations/sec as the
+// installation grows, event-driven scheduler vs the reference scan.
+// ---------------------------------------------------------------------
+
+/// One (host count, scheduler) cell of the cluster bench.
+#[derive(Clone, Debug)]
+pub struct ClusterRow {
+    /// Number of simulated hosts in the installation.
+    pub hosts: u64,
+    /// `event` (ready index + wait indexes) or `scan` (reference path).
+    pub sched: String,
+    /// Migrations the load-gradient policy completed.
+    pub migrations: u64,
+    /// Migration attempts the engine evicted after a pipeline failure.
+    pub failures: u64,
+    /// Host wall-clock spent in the migration phase, seconds.
+    pub mig_host_secs: f64,
+    /// Completed migrations per host second of the migration phase.
+    pub migrations_per_sec: f64,
+    /// Scheduling slices executed in the steady-state phase.
+    pub slices: u64,
+    /// Host wall-clock spent in the steady-state phase, seconds.
+    pub host_secs: f64,
+    /// Simulated events per host second.
+    pub events_per_sec: f64,
+    /// Host microseconds per simulated event — the per-slice scheduler
+    /// cost; near-flat across host counts for the event scheduler,
+    /// linear in machines × procs for the scan.
+    pub us_per_event: f64,
+}
+
+/// A periodic "interactive" process: `beats` short sleeps in a loop.
+/// Each expiry is one small scheduling event — exactly the traffic an
+/// installation of mostly-idle workstations generates, and the case
+/// where a per-slice all-machines scan is pure overhead.
+fn cluster_tick_program(beats: u32) -> String {
+    format!(
+        r#"
+start:  move.l  #{beats}, d7
+beat:   move.l  #150, d0
+        move.l  #2000, d1
+        trap    #0
+        sub.l   #1, d7
+        bgt     beat
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+"#
+    )
+}
+
+/// Builds an N-host installation: every host runs one ticker and four
+/// tty readers blocked at their terminals (dead weight the scan path
+/// re-evaluates every slice), and every sixteenth host carries three
+/// CPU hogs — the load imbalance the gradient policy then works off.
+/// All workloads outlive the measured window, so the process
+/// population stays constant.
+fn cluster_world(hosts: usize, sched: ukernel::Sched) -> World {
+    let mut config = KernelConfig::paper();
+    config.sched = sched;
+    let mut w = World::new(config);
+    for i in 0..hosts {
+        w.add_machine(&format!("h{i}"), IsaLevel::Isa1);
+    }
+    let hog = assemble(&workloads::cpu_hog_program(1_000_000)).expect("assemble hog");
+    let tick = assemble(&cluster_tick_program(100_000)).expect("assemble tick");
+    let reader = assemble(workloads::TEST_PROGRAM).expect("assemble reader");
+    for i in 0..hosts {
+        if i % 16 == 0 {
+            w.install_program(i, "/bin/hog", &hog).unwrap();
+            for _ in 0..3 {
+                w.spawn_vm_proc(i, "/bin/hog", None, alice()).unwrap();
+            }
+        }
+        w.install_program(i, "/bin/tick", &tick).unwrap();
+        w.spawn_vm_proc(i, "/bin/tick", None, alice()).unwrap();
+        w.install_program(i, "/bin/reader", &reader).unwrap();
+        for _ in 0..4 {
+            let (tty, _handle) = w.add_terminal(i);
+            w.spawn_vm_proc(i, "/bin/reader", Some(tty), alice()).unwrap();
+        }
+    }
+    w
+}
+
+/// Live workload processes across the whole installation. Restarted
+/// incarnations come back named `a.out`, like in the A5 ablation.
+fn cluster_live_procs(w: &World) -> u64 {
+    (0..w.machine_count())
+        .map(|m| {
+            w.machine(m)
+                .procs
+                .values()
+                .filter(|p| {
+                    ["hog", "tick", "reader"].iter().any(|c| p.comm.contains(c))
+                        || p.comm.starts_with("a.out")
+                })
+                .count() as u64
+        })
+        .sum()
+}
+
+fn cluster_engine() -> apps::PolicyEngine<apps::LoadGradient> {
+    apps::PolicyEngine::new(apps::LoadGradient {
+        min_age: SimDuration::millis(200),
+        imbalance_threshold: 2,
+    })
+}
+
+/// One cell, measured in two phases: the load-gradient engine runs
+/// `rounds` decision rounds of `period_us` each (migration
+/// throughput), then one second of steady-state simulated time is
+/// timed on its own (scheduling throughput) so the per-slice scheduler
+/// cost is not buried under the migration pipeline's native-process
+/// overhead.
+fn cluster_run(hosts: usize, sched: ukernel::Sched, rounds: u32, period_us: u64) -> ClusterRow {
+    let mut w = cluster_world(hosts, sched);
+    let mut engine = cluster_engine();
+    let sw = crate::hostclock::HostStopwatch::start();
+    let migrations = engine.run(&mut w, period_us, rounds, |_| false) as u64;
+    let mig_host_secs = sw.elapsed_secs().max(1e-9);
+
+    let slices_before = w.slices;
+    let deadline = (0..w.machine_count())
+        .map(|m| w.machine(m).now)
+        .max()
+        .unwrap_or_default()
+        + SimDuration::secs(1);
+    let sw = crate::hostclock::HostStopwatch::start();
+    w.run_until_time(deadline, 50_000_000);
+    let host_secs = sw.elapsed_secs().max(1e-9);
+    let slices = w.slices - slices_before;
+    ClusterRow {
+        hosts: hosts as u64,
+        sched: match sched {
+            ukernel::Sched::Event => "event",
+            ukernel::Sched::Scan => "scan",
+        }
+        .into(),
+        migrations,
+        failures: engine.failures,
+        mig_host_secs,
+        migrations_per_sec: migrations as f64 / mig_host_secs,
+        slices,
+        host_secs,
+        events_per_sec: slices as f64 / host_secs,
+        us_per_event: host_secs * 1e6 / slices.max(1) as f64,
+    }
+}
+
+/// The cluster bench matrix: the event scheduler at every size in
+/// `sizes`, and the reference scan alongside it up to `scan_max` hosts
+/// (the scan's O(machines × procs) slices make 1024 hosts pointless to
+/// wait for — that cliff is the point of the comparison).
+pub fn cluster(sizes: &[usize], scan_max: usize) -> Vec<ClusterRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        rows.push(cluster_run(n, ukernel::Sched::Event, 6, 500_000));
+        if n <= scan_max {
+            rows.push(cluster_run(n, ukernel::Sched::Scan, 6, 500_000));
+        }
+    }
+    rows
+}
+
+/// One fault-site row of the at-scale soak.
+#[derive(Clone, Debug)]
+pub struct ClusterSoakRow {
+    /// Injection site label.
+    pub case: String,
+    /// Installation size.
+    pub hosts: u64,
+    /// Migrations the engine completed despite the faults.
+    pub migrations: u64,
+    /// Attempts that failed (candidate evicted).
+    pub failures: u64,
+    /// Faults actually injected across all machines.
+    pub injected: u64,
+    /// Live workload copies after the dust settles.
+    pub live: u64,
+    /// Workload copies there should be — one per spawned process, no
+    /// loss and no duplication, whatever the pipeline hit.
+    pub expected: u64,
+    /// Orphaned dump files left in any /usr/tmp.
+    pub dumps_left: u64,
+}
+
+/// The PR-4 failure-atomicity soak run inside the cluster scenario:
+/// the policy engine keeps migrating while each fault site fires, and
+/// afterwards every hog must still exist exactly once with no dump
+/// litter anywhere in the installation.
+pub fn cluster_soak(seed: u64) -> Vec<ClusterSoakRow> {
+    use simnet::{FaultPlan, FaultSite, FaultSpec};
+    const HOSTS: usize = 16;
+    let cases: [(&str, FaultSite, u32); 4] = [
+        ("nfs", FaultSite::NfsOp, 3),
+        ("rsh", FaultSite::Rsh, 2),
+        ("middump", FaultSite::MidDumpCrash, 2),
+        ("enospc", FaultSite::DumpEnospc, 2),
+    ];
+    let mut rows = Vec::new();
+    for (label, site, budget) in cases {
+        let mut w = cluster_world(HOSTS, ukernel::Sched::Event);
+        w.faults = FaultPlan::seeded(seed).with(FaultSpec::always(site, budget));
+        let expected = cluster_live_procs(&w);
+        let mut engine = cluster_engine();
+        engine.run(&mut w, 500_000, 10, |_| false);
+        let injected: u64 = (0..w.machine_count())
+            .map(|m| w.machine(m).stats.faults_injected)
+            .sum();
+        let dumps_left: u64 = (0..w.machine_count())
+            .map(|m| w.host_reap_orphan_dumps(m).len() as u64)
+            .sum();
+        rows.push(ClusterSoakRow {
+            case: label.into(),
+            hosts: HOSTS as u64,
+            migrations: engine.records.len() as u64,
+            failures: engine.failures,
+            injected,
+            live: cluster_live_procs(&w),
+            expected,
+            dumps_left,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
 // Kernel-side per-syscall aggregates.
 // ---------------------------------------------------------------------
 
@@ -872,3 +1100,16 @@ impl_to_json!(AblationCheckpointRow { interval_ms, completion_ms, overhead, expe
 impl_to_json!(AblationLoadbalRow { policy, makespan_ms, migrations });
 impl_to_json!(KernelSyscallRow { syscall, count, total_us, max_us });
 impl_to_json!(FaultSoakRow { case, status, survivor, injected, live_copies, dumps_left });
+impl_to_json!(ClusterRow {
+    hosts,
+    sched,
+    migrations,
+    failures,
+    mig_host_secs,
+    migrations_per_sec,
+    slices,
+    host_secs,
+    events_per_sec,
+    us_per_event
+});
+impl_to_json!(ClusterSoakRow { case, hosts, migrations, failures, injected, live, expected, dumps_left });

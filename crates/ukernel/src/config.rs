@@ -3,6 +3,23 @@
 
 use simtime::CostModel;
 
+/// Which scheduler drives [`crate::World`]'s run loops.
+///
+/// Both produce bit-identical trajectories (the wake-parity test holds
+/// them to the same ktrace and determinism snapshot); they differ only
+/// in host cost per scheduling slice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sched {
+    /// Event-driven: a global `(now, MachineId)` ready index plus
+    /// per-machine wait indexes. Per-slice cost is O(log machines).
+    #[default]
+    Event,
+    /// The original reference path: every slice scans all machines and
+    /// every blocked process. Kept for the cluster benchmark's
+    /// before/after comparison and as the parity oracle.
+    Scan,
+}
+
 /// Compile-time choices of the simulated kernel build.
 ///
 /// `Figure 1` compares a kernel with [`KernelConfig::track_names`] off
@@ -35,6 +52,8 @@ pub struct KernelConfig {
     pub use_icache: bool,
     /// The hardware/kernel cost calibration.
     pub cost: CostModel,
+    /// Scheduler implementation (event-driven by default).
+    pub sched: Sched,
 }
 
 impl KernelConfig {
@@ -46,6 +65,7 @@ impl KernelConfig {
             fixed_name_strings: false,
             use_icache: true,
             cost: CostModel::sun2(),
+            sched: Sched::default(),
         }
     }
 

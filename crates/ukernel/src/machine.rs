@@ -15,6 +15,18 @@ use crate::proc::Proc;
 /// Index of a machine within the world.
 pub type MachineId = usize;
 
+/// Identity of a byte queue a `PipeWait` process can park on, the key
+/// of the per-machine wait index. Waiters are indexed per *object*, not
+/// per direction: a poke re-evaluates both readers and writers of the
+/// queue, which the wake check then filters precisely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueueId {
+    /// A pipe, by slot in [`Machine::pipes`].
+    Pipe(usize),
+    /// A socket pair, by slot in [`Machine::sockets`].
+    Socket(usize),
+}
+
 /// A byte queue shared by pipe/socket endpoints.
 #[derive(Clone, Debug, Default)]
 pub struct PipeBuf {
@@ -153,6 +165,17 @@ pub struct Machine {
     /// deletion). This replaces a full process-table scan on every
     /// idle-clock jump.
     timers: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Blocked pids whose wait condition may have changed since the
+    /// machine was last serviced (event scheduler). Pid-ordered so the
+    /// wake pass evaluates candidates in the same order the reference
+    /// scan visits the process table.
+    pub(crate) wait_pending: BTreeSet<u32>,
+    /// Pipe/socket wait index: which blocked pids are parked on which
+    /// byte queue. Entries are registered when a process blocks and
+    /// cleaned lazily when the queue is next poked.
+    pub(crate) queue_waiters: BTreeMap<QueueId, BTreeSet<u32>>,
+    /// This machine's key in the world's ready index, if enrolled.
+    pub(crate) ready_key: Option<SimTime>,
     /// The inode of `/n`, where remote mounts attach.
     pub n_dir: Ino,
     /// The inode of `/dev`.
@@ -212,6 +235,9 @@ impl Machine {
             last_rest_proc: None,
             last_rest_caller: None,
             timers: BinaryHeap::new(),
+            wait_pending: BTreeSet::new(),
+            queue_waiters: BTreeMap::new(),
+            ready_key: None,
             n_dir,
             dev_dir,
             next_pid: 2, // 1 is init.
@@ -279,6 +305,54 @@ impl Machine {
             self.timers.pop();
         }
         None
+    }
+
+    /// Pops every timer entry due at the machine's current clock into
+    /// `into` (deduplicated, pid-ordered). Stale lazy-deletion entries
+    /// are popped too: the wake pass re-checks each pid's actual state,
+    /// so surfacing a dead deadline is harmless.
+    pub(crate) fn take_due_timers(&mut self, into: &mut BTreeSet<u32>) {
+        while let Some(&Reverse((t, pid))) = self.timers.peek() {
+            if t > self.now {
+                break;
+            }
+            self.timers.pop();
+            into.insert(pid);
+        }
+    }
+
+    /// Registers a blocked process as waiting on a byte queue.
+    pub(crate) fn wait_on_queue(&mut self, q: QueueId, pid: Pid) {
+        self.queue_waiters.entry(q).or_default().insert(pid.as_u32());
+    }
+
+    /// Moves a queue's waiters into the pending-wake set (the queue's
+    /// state changed), dropping registrations whose process is no
+    /// longer parked on a pipe. Returns whether anything became pending.
+    pub(crate) fn poke_queue(&mut self, q: QueueId) -> bool {
+        let procs = &self.procs;
+        let Some(waiters) = self.queue_waiters.get_mut(&q) else {
+            return false;
+        };
+        waiters.retain(|pid| {
+            matches!(
+                procs.get(pid).map(|p| &p.state),
+                Some(crate::proc::ProcState::PipeWait)
+            )
+        });
+        if waiters.is_empty() {
+            self.queue_waiters.remove(&q);
+            return false;
+        }
+        self.wait_pending.extend(self.queue_waiters[&q].iter().copied());
+        true
+    }
+
+    /// Run-queue depth — the load metric the policy layer and `simsh
+    /// load` read. Served straight from the scheduler's queue rather
+    /// than a process-table scan.
+    pub fn run_queue_depth(&self) -> usize {
+        self.run_queue.len()
     }
 
     /// Marks a path's inodes as cached, returning whether it was cold.

@@ -284,6 +284,14 @@ fn release_kind(cx: &mut SysCtx<'_>, kind: &FileKind) {
         }
         _ => {}
     }
+    // A dropped end flips EOF/EPIPE conditions for the other side.
+    match kind {
+        FileKind::Pipe { id, .. } => cx.w.poke_queue(cx.mid, crate::machine::QueueId::Pipe(*id)),
+        FileKind::Socket { id, .. } => {
+            cx.w.poke_queue(cx.mid, crate::machine::QueueId::Socket(*id))
+        }
+        _ => {}
+    }
 }
 
 /// `read(2)`, with terminal and pipe blocking.
@@ -314,6 +322,7 @@ pub fn sys_read(cx: &mut SysCtx<'_>, fd: usize, len: usize) -> SyscallResult {
                     if let Some(p) = cx.proc_mut() {
                         p.state = ProcState::TtyWait { tty };
                     }
+                    cx.w.tty_wait_register(tty, cx.mid, cx.pid);
                     SyscallResult::Blocked
                 }
             }
@@ -367,6 +376,18 @@ enum QueueRef {
     Socket(usize, usize),
 }
 
+impl QueueRef {
+    /// The wait-index key for this queue. Sockets share one key for
+    /// both sides: a poke may over-wake the opposite side, which is
+    /// safe (its condition re-evaluates to no action).
+    fn id(&self) -> crate::machine::QueueId {
+        match self {
+            QueueRef::Pipe(id) => crate::machine::QueueId::Pipe(*id),
+            QueueRef::Socket(id, _) => crate::machine::QueueId::Socket(*id),
+        }
+    }
+}
+
 fn read_queue(cx: &mut SysCtx<'_>, len: usize, q: QueueRef) -> SyscallResult {
     let m = cx.machine_mut();
     let buf = match &q {
@@ -387,6 +408,8 @@ fn read_queue(cx: &mut SysCtx<'_>, len: usize, q: QueueRef) -> SyscallResult {
         if let Some(p) = cx.proc_mut() {
             p.state = ProcState::PipeWait;
         }
+        let pid = cx.pid;
+        cx.machine_mut().wait_on_queue(q.id(), pid);
         return SyscallResult::Blocked;
     }
     let n = len.min(buf.data.len());
@@ -394,6 +417,8 @@ fn read_queue(cx: &mut SysCtx<'_>, len: usize, q: QueueRef) -> SyscallResult {
     let c = cx.cost().copy_bytes(n);
     cx.charge(c);
     cx.copied_out(n);
+    // Draining made room: writers blocked on a full buffer can retry.
+    cx.w.poke_queue(cx.mid, q.id());
     done(Ok(SysRetval::with_data(n as u32, bytes)))
 }
 
@@ -500,11 +525,15 @@ fn write_queue(cx: &mut SysCtx<'_>, bytes: &[u8], q: QueueRef) -> SyscallResult 
         if let Some(p) = cx.proc_mut() {
             p.state = ProcState::PipeWait;
         }
+        let pid = cx.pid;
+        cx.machine_mut().wait_on_queue(q.id(), pid);
         return SyscallResult::Blocked;
     }
     buf.data.extend(bytes.iter().copied());
     let c = cx.cost().copy_bytes(bytes.len());
     cx.charge(c);
+    // New data: readers blocked on an empty buffer can complete.
+    cx.w.poke_queue(cx.mid, q.id());
     done(Ok(SysRetval::ok(bytes.len() as u32)))
 }
 
@@ -648,6 +677,9 @@ pub fn sys_ioctl(cx: &mut SysCtx<'_>, fd: usize, req: IoctlReq) -> SyscallResult
             }
             IoctlReq::Stty(flags) => {
                 cx.w.terminal(tty).with(|t| t.stty(flags));
+                // A mode change (raw vs cooked) can make buffered input
+                // readable for blocked readers.
+                cx.w.poke_tty(tty);
                 Ok(SysRetval::ok(0))
             }
         }

@@ -220,8 +220,10 @@ pub fn sys_kill(cx: &mut SysCtx<'_>, target: u32, sig: u32) -> SyscallResult {
             t.post_signal(sig);
         }
         // A runnable target will take the signal when next scheduled;
-        // blocked targets are woken by the scheduler's signal scan.
+        // blocked targets are woken at the next wake pass (which the
+        // poke guarantees happens under the event scheduler).
         cx.machine_mut().nudge(target_pid);
+        cx.w.poke_proc(cx.mid, target_pid);
         Ok(SysRetval::ok(0))
     })())
 }

@@ -8,7 +8,7 @@ use sysdefs::{Credentials, Errno, Pid, Signal, SysResult};
 use tty::{Terminal, TtyHandle};
 use vfs::{path as vpath, DeviceId, Filesystem, WalkOutcome};
 
-use crate::config::KernelConfig;
+use crate::config::{KernelConfig, Sched};
 use crate::file::{FileKind, FileStruct};
 use crate::machine::{Machine, MachineId};
 use crate::native::{spawn_native, NativeProgram, Request, Response};
@@ -51,6 +51,30 @@ pub struct World {
     daemon_waiters: std::collections::BTreeSet<(MachineId, u32)>,
     /// The armed fault-injection plan (empty by default: nothing fires).
     pub faults: FaultPlan,
+    /// Event-scheduler work list: machines with pending wake candidates
+    /// to service before the next pick. Mid-ordered so the drain visits
+    /// machines in the same order the reference scan does.
+    wake_queue: std::collections::BTreeSet<MachineId>,
+    /// Event-scheduler ready index: `(local clock at enrolment,
+    /// machine)` for every machine believed to have work. Keys go stale
+    /// when a clock advances after enrolment (clocks only move forward,
+    /// so a stale key is always an underestimate); [`World::next_ready`]
+    /// re-keys stale entries as they surface. The `MachineId` tie-break
+    /// keeps dual runs bit-identical.
+    ready: std::collections::BTreeSet<(SimTime, MachineId)>,
+    /// Terminal wait index: tty id to blocked `(machine, pid)` readers.
+    tty_waiters: std::collections::BTreeMap<u32, std::collections::BTreeSet<(MachineId, u32)>>,
+    /// Remote-completion wait index: `(server, remote pid)` to the
+    /// `(machine, pid)` waiters parked in `RemoteWait` on it.
+    remote_waiters:
+        std::collections::BTreeMap<(MachineId, u32), std::collections::BTreeSet<(MachineId, u32)>>,
+    /// Scratch pid buffer reused by every wake pass so the steady state
+    /// allocates nothing per slice.
+    wake_scratch: Vec<u32>,
+    /// Scheduling slices executed across all run loops. Host-side
+    /// observability for the cluster benchmark — never part of
+    /// simulated state or the determinism snapshot.
+    pub slices: u64,
 }
 
 impl World {
@@ -65,6 +89,12 @@ impl World {
             overlaid: std::collections::BTreeMap::new(),
             daemon_waiters: std::collections::BTreeSet::new(),
             faults: FaultPlan::none(),
+            wake_queue: std::collections::BTreeSet::new(),
+            ready: std::collections::BTreeSet::new(),
+            tty_waiters: std::collections::BTreeMap::new(),
+            remote_waiters: std::collections::BTreeMap::new(),
+            wake_scratch: Vec::new(),
+            slices: 0,
         }
     }
 
@@ -463,6 +493,9 @@ impl World {
         };
         self.machines[mid].procs.insert(pid.as_u32(), proc);
         self.machines[mid].make_runnable(pid);
+        // The machine gained work — enroll it in the ready index even
+        // when the spawn comes from outside a scheduling slice.
+        self.wake_queue.insert(mid);
         pid
     }
 
@@ -555,6 +588,8 @@ impl World {
             )
         };
         self.finished.insert((mid, pid.as_u32()), info);
+        // Anyone in RemoteWait on this process can now complete.
+        self.poke_remote_done(mid, pid.as_u32());
         {
             let m = &mut self.machines[mid];
             m.run_queue.retain(|&q| q != pid);
@@ -592,44 +627,77 @@ impl World {
             if wake {
                 self.machines[mid].make_runnable(ppid);
             }
+            // Parents waiting with signals blocked, or racing into
+            // ChildWait, are caught by the poke at the next service.
+            self.poke_proc(mid, ppid);
         } else {
             // Children of init: reap immediately.
             self.machines[mid].procs.remove(&pid.as_u32());
         }
+        // An exit can change the machine's work state (last runnable
+        // process gone) even outside a scheduling slice.
+        self.wake_queue.insert(mid);
     }
 
     // ------------------------------------------------------------------
     // Scheduling.
     // ------------------------------------------------------------------
 
-    /// Checks blocked processes and wakes those whose condition holds.
+    /// Checks every blocked process on `mid` and wakes those whose
+    /// condition holds — the reference [`crate::config::Sched::Scan`]
+    /// wake pass. The per-slice pid lists live in a scratch buffer owned
+    /// by the world, so the steady state allocates nothing.
     fn wake_scan(&mut self, mid: MachineId) {
+        // The full scan supersedes any queued event pokes.
+        self.machines[mid].wait_pending.clear();
+        let mut scratch = std::mem::take(&mut self.wake_scratch);
         // Fire due alarms first: they may turn blocked processes
         // signal-wakeable.
+        scratch.clear();
         {
-            let m = &mut self.machines[mid];
+            let m = &self.machines[mid];
             let now = m.now;
-            let due: Vec<Pid> = m
+            scratch.extend(
+                m.procs
+                    .values()
+                    .filter(|p| p.alarm_at.map(|t| now >= t).unwrap_or(false))
+                    .map(|p| p.pid.as_u32()),
+            );
+        }
+        for &pid in &scratch {
+            self.fire_alarm(mid, Pid(pid));
+        }
+        scratch.clear();
+        scratch.extend(
+            self.machines[mid]
                 .procs
                 .values()
-                .filter(|p| p.alarm_at.map(|t| now >= t).unwrap_or(false))
-                .map(|p| p.pid)
-                .collect();
-            for pid in due {
-                if let Some(p) = m.proc_mut(pid) {
-                    p.alarm_at = None;
-                    p.post_signal(Signal::SIGALRM);
-                }
-                m.nudge(pid);
-            }
+                .filter(|p| p.state.is_blocked())
+                .map(|p| p.pid.as_u32()),
+        );
+        for &pid in &scratch {
+            self.wake_one(mid, Pid(pid));
         }
-        let pids: Vec<Pid> = self.machines[mid]
-            .procs
-            .values()
-            .filter(|p| p.state.is_blocked())
-            .map(|p| p.pid)
-            .collect();
-        for pid in pids {
+        self.wake_scratch = scratch;
+    }
+
+    /// Clears a due alarm and posts `SIGALRM` (nudging the target so a
+    /// runnable process takes it promptly).
+    fn fire_alarm(&mut self, mid: MachineId, pid: Pid) {
+        let m = &mut self.machines[mid];
+        if let Some(p) = m.proc_mut(pid) {
+            p.alarm_at = None;
+            p.post_signal(Signal::SIGALRM);
+        }
+        m.nudge(pid);
+    }
+
+    /// Evaluates one blocked process's wake condition and applies the
+    /// resulting action. Shared verbatim by the reference scan and the
+    /// event scheduler's wake service: identical evaluation in identical
+    /// pid order is what keeps the two paths bit-identical.
+    fn wake_one(&mut self, mid: MachineId, pid: Pid) {
+        {
             enum Action {
                 Nothing,
                 Wake,
@@ -639,7 +707,7 @@ impl World {
             let action = {
                 let p = match self.proc_ref(mid, pid) {
                     Some(p) => p,
-                    None => continue,
+                    None => return,
                 };
                 let signal_wake = p.signal_pending()
                     && !matches!(p.state, ProcState::Stopped)
@@ -842,17 +910,243 @@ impl World {
         self.machines[mid].next_deadline()
     }
 
+    /// One wake pass over a machine, dispatched by the configured
+    /// scheduler: the reference path sweeps every blocked process, the
+    /// event path services only poked processes and due timers.
+    fn wake(&mut self, mid: MachineId) {
+        match self.config.sched {
+            Sched::Scan => self.wake_scan(mid),
+            Sched::Event => self.service_machine(mid),
+        }
+    }
+
+    /// The event scheduler's wake pass: drain the machine's poke set and
+    /// due-timer heap, fire due alarms, then evaluate exactly those
+    /// processes — in pid order, mirroring the reference scan's
+    /// alarm-sweep-then-blocked-sweep structure, so the two paths make
+    /// identical state transitions in identical order.
+    fn service_machine(&mut self, mid: MachineId) {
+        let mut pending = std::mem::take(&mut self.machines[mid].wait_pending);
+        self.machines[mid].take_due_timers(&mut pending);
+        if pending.is_empty() {
+            self.machines[mid].wait_pending = pending;
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.wake_scratch);
+        scratch.clear();
+        scratch.extend(pending.iter().copied());
+        pending.clear();
+        self.machines[mid].wait_pending = pending;
+        // Alarms first: a fired SIGALRM may turn a blocked process
+        // signal-wakeable for the second phase. The due-ness filter is
+        // the same `alarm_at` check the scan applies, so stale timer
+        // heap entries (lazy deletion) fire nothing.
+        let now = self.machines[mid].now;
+        for &raw in &scratch {
+            let pid = Pid(raw);
+            let due = self.machines[mid]
+                .proc_ref(pid)
+                .and_then(|p| p.alarm_at)
+                .map(|t| now >= t)
+                .unwrap_or(false);
+            if due {
+                self.fire_alarm(mid, pid);
+            }
+        }
+        for &pid in &scratch {
+            self.wake_one(mid, Pid(pid));
+        }
+        self.wake_scratch = scratch;
+    }
+
+    /// Re-keys a machine in the global ready index after its clock,
+    /// run queue or timer heap changed. The stored key only ever
+    /// *underestimates* the machine's clock (clocks are monotonic), so
+    /// the index minimum is a lower bound that [`World::next_ready`]
+    /// tightens lazily on pop.
+    fn mark_ready(&mut self, mid: MachineId) {
+        let has_work = {
+            let m = &mut self.machines[mid];
+            !m.run_queue.is_empty() || m.next_deadline().is_some()
+        };
+        let old = self.machines[mid].ready_key;
+        if has_work {
+            let now = self.machines[mid].now;
+            if old == Some(now) {
+                return;
+            }
+            if let Some(k) = old {
+                self.ready.remove(&(k, mid));
+            }
+            self.ready.insert((now, mid));
+            self.machines[mid].ready_key = Some(now);
+        } else if let Some(k) = old {
+            self.ready.remove(&(k, mid));
+            self.machines[mid].ready_key = None;
+        }
+    }
+
+    /// Pops the ready machine with the smallest clock (MachineId breaks
+    /// ties, matching the scan's first-lowest-index pick). Entries with
+    /// stale keys are re-keyed and retried; entries without work are
+    /// dropped. With a `deadline`, returns `None` once the earliest
+    /// candidate's true clock has reached it.
+    fn next_ready(&mut self, deadline: Option<SimTime>) -> Option<MachineId> {
+        loop {
+            let &(key, mid) = self.ready.first()?;
+            let has_work = {
+                let m = &mut self.machines[mid];
+                !m.run_queue.is_empty() || m.next_deadline().is_some()
+            };
+            if !has_work {
+                self.ready.remove(&(key, mid));
+                self.machines[mid].ready_key = None;
+                continue;
+            }
+            let now = self.machines[mid].now;
+            if key != now {
+                self.ready.remove(&(key, mid));
+                self.ready.insert((now, mid));
+                self.machines[mid].ready_key = Some(now);
+                continue;
+            }
+            if let Some(d) = deadline {
+                if now >= d {
+                    return None;
+                }
+            }
+            return Some(mid);
+        }
+    }
+
+    /// Services every poked machine (in MachineId order, like the scan)
+    /// and refreshes its ready-index entry.
+    fn drain_wake_queue(&mut self) {
+        while let Some(mid) = self.wake_queue.pop_first() {
+            self.service_machine(mid);
+            self.mark_ready(mid);
+        }
+    }
+
+    /// Event-mode entry into a run loop: the host may have mutated
+    /// anything while the world was parked (typed terminal input, closed
+    /// ttys, posted signals through wrappers that predate the poke
+    /// hooks), so conservatively poke every blocked process once. This
+    /// is O(procs) per *run call*, not per slice — the scan paid it per
+    /// slice.
+    fn enter_run(&mut self) {
+        if self.config.sched != Sched::Event {
+            return;
+        }
+        for mid in 0..self.machines.len() {
+            let m = &mut self.machines[mid];
+            let procs = &m.procs;
+            let wait_pending = &mut m.wait_pending;
+            wait_pending.extend(
+                procs
+                    .values()
+                    .filter(|p| p.state.is_blocked())
+                    .map(|p| p.pid.as_u32()),
+            );
+            self.wake_queue.insert(mid);
+        }
+    }
+
+    /// Marks one process for wake evaluation at the machine's next
+    /// service. Over-poking is always safe (a false condition evaluates
+    /// to no action, exactly as under the scan); *missing* a poke is the
+    /// only hazard, so every state mutation that can flip a wake
+    /// condition true calls one of these hooks.
+    pub(crate) fn poke_proc(&mut self, mid: MachineId, pid: Pid) {
+        self.machines[mid].wait_pending.insert(pid.as_u32());
+        self.wake_queue.insert(mid);
+    }
+
+    /// Pokes the registered waiters of a pipe/socket buffer after its
+    /// readable/writable state may have changed.
+    pub(crate) fn poke_queue(&mut self, mid: MachineId, q: crate::machine::QueueId) {
+        if self.machines[mid].poke_queue(q) {
+            self.wake_queue.insert(mid);
+        }
+    }
+
+    /// Records that `pid` on `mid` is blocked reading terminal `tty`.
+    pub(crate) fn tty_wait_register(&mut self, tty: u32, mid: MachineId, pid: Pid) {
+        self.tty_waiters
+            .entry(tty)
+            .or_default()
+            .insert((mid, pid.as_u32()));
+    }
+
+    /// Pokes every process blocked on terminal `tty`, evicting entries
+    /// whose process has since moved on.
+    pub(crate) fn poke_tty(&mut self, tty: u32) {
+        let Some(mut set) = self.tty_waiters.remove(&tty) else {
+            return;
+        };
+        set.retain(|&(mid, pid)| {
+            matches!(
+                self.machines[mid].procs.get(&pid).map(|p| &p.state),
+                Some(ProcState::TtyWait { .. })
+            )
+        });
+        for &(mid, pid) in &set {
+            self.machines[mid].wait_pending.insert(pid);
+            self.wake_queue.insert(mid);
+        }
+        if !set.is_empty() {
+            self.tty_waiters.insert(tty, set);
+        }
+    }
+
+    /// Records that `(mid, pid)` is in `RemoteWait` on `(server, rp)`.
+    pub(crate) fn remote_wait_register(
+        &mut self,
+        server: MachineId,
+        rp: u32,
+        mid: MachineId,
+        pid: Pid,
+    ) {
+        self.remote_waiters
+            .entry((server, rp))
+            .or_default()
+            .insert((mid, pid.as_u32()));
+    }
+
+    /// Pokes every waiter parked on remote process `(server, rp)` once
+    /// it has finished or been overlaid.
+    pub(crate) fn poke_remote_done(&mut self, server: MachineId, rp: u32) {
+        let Some(set) = self.remote_waiters.remove(&(server, rp)) else {
+            return;
+        };
+        for (mid, pid) in set {
+            self.machines[mid].wait_pending.insert(pid);
+            self.wake_queue.insert(mid);
+        }
+    }
+
     /// Runs one scheduling action on a machine. Returns false if the
     /// machine is idle (nothing runnable, wakeable or sleeping).
     pub fn step_machine(&mut self, mid: MachineId) -> bool {
-        self.wake_scan(mid);
+        let progressed = self.step_machine_inner(mid);
+        if self.config.sched == Sched::Event {
+            // The slice may have advanced the clock, armed timers or
+            // changed the run queue; queue a re-key (and a service pass
+            // for any pokes the slice emitted).
+            self.wake_queue.insert(mid);
+        }
+        progressed
+    }
+
+    fn step_machine_inner(&mut self, mid: MachineId) -> bool {
+        self.wake(mid);
         if self.machines[mid].run_queue.is_empty() {
             // Jump the clock to the earliest timer, if any.
             let Some(t) = self.earliest_deadline(mid) else {
                 return false;
             };
             self.machines[mid].now = self.machines[mid].now.max(t);
-            self.wake_scan(mid);
+            self.wake(mid);
             if self.machines[mid].run_queue.is_empty() {
                 return false;
             }
@@ -1168,6 +1462,7 @@ impl World {
                             pid: child,
                         };
                     }
+                    self.remote_wait_register(mid, child.as_u32(), mid, pid);
                     return;
                 }
                 Request::Daemon { host, prog, comm } => {
@@ -1211,6 +1506,7 @@ impl World {
                     if let Some(p) = self.proc_mut(mid, pid) {
                         p.state = ProcState::RemoteWait { server, pid: child };
                     }
+                    self.remote_wait_register(server, child.as_u32(), mid, pid);
                     return;
                 }
                 Request::Rsh { host, prog, comm } => {
@@ -1268,6 +1564,7 @@ impl World {
                     if let Some(p) = self.proc_mut(mid, pid) {
                         p.state = ProcState::RemoteWait { server, pid: child };
                     }
+                    self.remote_wait_register(server, child.as_u32(), mid, pid);
                     return;
                 }
             }
@@ -1278,29 +1575,56 @@ impl World {
     // Run loops.
     // ------------------------------------------------------------------
 
-    /// Picks the machine with work and the smallest local clock; returns
-    /// false when every machine is idle.
-    fn step_world(&mut self) -> bool {
+    /// Picks the machine to step next under the reference scan: wake
+    /// every machine, then take the smallest clock among machines with
+    /// work (strict `<`, so the first/lowest MachineId wins ties —
+    /// the tie-break the event index reproduces with its `(now, mid)`
+    /// key order). O(machines × procs) per slice; kept as the parity
+    /// oracle and the benchmark baseline.
+    fn pick_scan(&mut self, deadline: Option<SimTime>) -> Option<MachineId> {
         let mut best: Option<(MachineId, SimTime)> = None;
         for mid in 0..self.machines.len() {
             self.wake_scan(mid);
+            let now = self.machines[mid].now;
+            if deadline.map(|d| now >= d).unwrap_or(false) {
+                continue;
+            }
             let has_work = !self.machines[mid].run_queue.is_empty()
                 || self.earliest_deadline(mid).is_some();
-            if has_work {
-                let now = self.machines[mid].now;
-                if best.map(|(_, t)| now < t).unwrap_or(true) {
-                    best = Some((mid, now));
-                }
+            if has_work && best.map(|(_, t)| now < t).unwrap_or(true) {
+                best = Some((mid, now));
             }
         }
-        match best {
-            Some((mid, _)) => self.step_machine(mid),
+        best.map(|(mid, _)| mid)
+    }
+
+    /// Picks the machine to step next: drain pending pokes, then pop
+    /// the ready index (event mode) or run the full scan (scan mode).
+    fn pick_next(&mut self, deadline: Option<SimTime>) -> Option<MachineId> {
+        match self.config.sched {
+            Sched::Scan => self.pick_scan(deadline),
+            Sched::Event => {
+                self.drain_wake_queue();
+                self.next_ready(deadline)
+            }
+        }
+    }
+
+    /// Picks the machine with work and the smallest local clock; returns
+    /// false when every machine is idle.
+    fn step_world(&mut self) -> bool {
+        match self.pick_next(None) {
+            Some(mid) => {
+                self.slices += 1;
+                self.step_machine(mid)
+            }
             None => false,
         }
     }
 
     /// Runs until idle or until `max_slices` scheduling actions.
     pub fn run_slices(&mut self, max_slices: u64) -> RunOutcome {
+        self.enter_run();
         for _ in 0..max_slices {
             if !self.step_world() {
                 return RunOutcome::Idle;
@@ -1316,38 +1640,27 @@ impl World {
         pid: Pid,
         max_slices: u64,
     ) -> Option<ExitInfo> {
+        self.enter_run();
+        let key = (mid, pid.as_u32());
         for _ in 0..max_slices {
-            if let Some(info) = self.finished.get(&(mid, pid.as_u32())) {
-                return Some(info.clone());
+            if self.finished.contains_key(&key) {
+                break;
             }
             if !self.step_world() {
                 break;
             }
         }
-        self.finished.get(&(mid, pid.as_u32())).cloned()
+        self.finished.get(&key).cloned()
     }
 
     /// Runs until every machine's clock passes `deadline` or the world
     /// goes idle; clocks of machines without work park at the deadline.
     pub fn run_until_time(&mut self, deadline: SimTime, max_slices: u64) -> RunOutcome {
+        self.enter_run();
         for _ in 0..max_slices {
-            // Pick the machine with work that is still before the
-            // deadline and has the smallest clock.
-            let mut best: Option<(MachineId, SimTime)> = None;
-            for mid in 0..self.machines.len() {
-                self.wake_scan(mid);
-                let now = self.machines[mid].now;
-                if now >= deadline {
-                    continue;
-                }
-                let has_work = !self.machines[mid].run_queue.is_empty()
-                    || self.earliest_deadline(mid).is_some();
-                if has_work && best.map(|(_, t)| now < t).unwrap_or(true) {
-                    best = Some((mid, now));
-                }
-            }
-            match best {
-                Some((mid, _)) => {
+            match self.pick_next(Some(deadline)) {
+                Some(mid) => {
+                    self.slices += 1;
                     self.step_machine(mid);
                 }
                 None => {
@@ -1365,7 +1678,13 @@ impl World {
 
     /// Reaps a zombie from outside (tests and the figure harness).
     pub fn host_reap(&mut self, mid: MachineId, pid: Pid) {
+        let ppid = self.proc_ref(mid, pid).map(|p| p.ppid);
         self.machines[mid].procs.remove(&pid.as_u32());
+        // Losing a child can wake a ChildWait parent (the
+        // no-children-left arm of the wake condition).
+        if let Some(ppid) = ppid {
+            self.poke_proc(mid, ppid);
+        }
     }
 
     /// A `ps`-style listing of a machine's processes, for diagnostics,
@@ -1416,6 +1735,13 @@ impl World {
             p.post_signal(sig);
         }
         self.machines[mid].nudge(pid);
+        self.poke_proc(mid, pid);
+    }
+
+    /// Per-host run-queue depth, served straight from the scheduler's
+    /// own queues (no process-table walk) — the `simsh load` view.
+    pub fn run_queue_depths(&self) -> Vec<usize> {
+        self.machines.iter().map(|m| m.run_queue_depth()).collect()
     }
 }
 

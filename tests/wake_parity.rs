@@ -1,0 +1,388 @@
+//! Wake-semantics parity between the two schedulers.
+//!
+//! The event scheduler (`Sched::Event`, the default) must reproduce the
+//! reference scan's trajectory **bit-identically**: same wake order,
+//! same clock charges, same ktrace records, same terminal transcripts.
+//! Its design invariant is that over-poking is harmless (a false wake
+//! condition evaluates to no action, exactly as under the scan) while a
+//! *missed* poke would stall a wakeup the scan would have seen — so any
+//! divergence here points at a mutation site without a poke hook.
+//!
+//! The scenario is a cluster of 100+ hosts exercising every wait class
+//! at once: sleep expiry, alarm expiry mid-sleep, tty reads woken by
+//! typed input / close / SIGINT, pipe readers woken by writes, parents
+//! in `wait()`, rsh/run_local remote completions, and a full
+//! daemon-scripted migration — plus a faulty variant, since injected
+//! faults are simulation events the parity must cover too.
+
+use m68vm::{assemble, IsaLevel};
+use sysdefs::{Credentials, Gid, Uid, Signal};
+use tty::TtyHandle;
+use ukernel::{KernelConfig, Sched, World};
+use vfs::InodeKind;
+
+fn alice() -> Credentials {
+    Credentials::user(Uid(100), Gid(10))
+}
+
+/// Number of numbered hosts; the migrate pair (`brick`, `schooner`)
+/// rides on top, so the world holds `HOSTS + 2 >= 100` machines.
+const HOSTS: usize = 104;
+
+/// pipe() + fork(): the child blocks reading the empty pipe, the parent
+/// sleeps, writes four bytes (waking the child), then reaps it.
+const PIPE_PING_PROGRAM: &str = r#"
+start:  move.l  #42, d0     | pipe()
+        trap    #0
+        move.l  d0, d5
+        and.l   #0xffff, d5 | read end
+        move.l  d0, d6
+        lsr.l   #16, d6     | write end
+        move.l  #2, d0      | fork
+        trap    #0
+        tst.l   d0
+        beq     child
+        move.l  #150, d0    | parent: sleep before writing, so the
+        move.l  #3000, d1   | child is parked in PipeWait by then
+        trap    #0
+        move.l  #4, d0      | write 4 bytes: wakes the blocked reader
+        move.l  d6, d1
+        move.l  #msg, d2
+        move.l  #4, d3
+        trap    #0
+        move.l  #7, d0      | wait() for the child
+        move.l  #0, d1
+        trap    #0
+        move.l  #1, d0      | exit(0)
+        move.l  #0, d1
+        trap    #0
+child:  move.l  #3, d0      | read pipe: blocks until the parent writes
+        move.l  d5, d1
+        move.l  #buf, d2
+        move.l  #4, d3
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+        .data
+msg:    .byte   'p'
+        .byte   'o'
+        .byte   'k'
+        .byte   'e'
+        .bss
+buf:    .space  8
+"#;
+
+/// Two consecutive sleeps, then exit: pure timer-heap wakeups.
+const SLEEPER_PROGRAM: &str = r#"
+start:  move.l  #150, d0
+        move.l  #2000, d1
+        trap    #0
+        move.l  #150, d0
+        move.l  #2500, d1
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+"#;
+
+/// alarm(1s) then a 2s sleep: SIGALRM fires mid-sleep and terminates
+/// the process (default action), exercising the alarm-before-wake
+/// ordering of the wake pass.
+const ALARM_PROGRAM: &str = r#"
+start:  move.l  #27, d0     | alarm(1)
+        move.l  #1, d1
+        trap    #0
+        move.l  #150, d0    | sleep 2s; SIGALRM lands at 1s
+        move.l  #2000000, d1
+        trap    #0
+        move.l  #1, d0      | never reached
+        move.l  #0, d1
+        trap    #0
+"#;
+
+/// Runs the cluster scenario under `sched` and renders the final world
+/// into one canonical string (same shape as tests/determinism.rs).
+fn run_scenario(sched: Sched, faults: simnet::FaultPlan, require_success: bool) -> String {
+    let mut cfg = KernelConfig::paper();
+    cfg.sched = sched;
+    let mut w = World::new(cfg);
+    w.faults = faults;
+
+    let hog = assemble(&pmig::workloads::cpu_hog_program(20)).unwrap();
+    let pipe_ping = assemble(PIPE_PING_PROGRAM).unwrap();
+    let sleeper = assemble(SLEEPER_PROGRAM).unwrap();
+    let alarmer = assemble(ALARM_PROGRAM).unwrap();
+    let testprog = assemble(pmig::workloads::TEST_PROGRAM).unwrap();
+    let waiting_parent = assemble(pmig::workloads::WAITING_PARENT_PROGRAM).unwrap();
+
+    let mut consoles: Vec<(String, TtyHandle)> = Vec::new();
+    // Tty-blocked readers to feed, close, or interrupt later.
+    let mut tty_readers = Vec::new();
+    let mut interrupt_targets = Vec::new();
+
+    for i in 0..HOSTS {
+        let name = format!("h{i:03}");
+        let mid = w.add_machine(&name, IsaLevel::Isa1);
+        match i % 8 {
+            0 => {
+                w.install_program(mid, "/bin/hog", &hog).unwrap();
+                w.spawn_vm_proc(mid, "/bin/hog", None, alice()).unwrap();
+            }
+            1 => {
+                w.install_program(mid, "/bin/pipeping", &pipe_ping).unwrap();
+                w.spawn_vm_proc(mid, "/bin/pipeping", None, alice()).unwrap();
+            }
+            2 => {
+                w.install_program(mid, "/bin/sleeper", &sleeper).unwrap();
+                w.spawn_vm_proc(mid, "/bin/sleeper", None, alice()).unwrap();
+            }
+            3 => {
+                w.install_program(mid, "/bin/alarmer", &alarmer).unwrap();
+                w.spawn_vm_proc(mid, "/bin/alarmer", None, alice()).unwrap();
+            }
+            4 => {
+                w.install_program(mid, "/bin/testprog", &testprog).unwrap();
+                let (tty, console) = w.add_terminal(mid);
+                let pid = w
+                    .spawn_vm_proc(mid, "/bin/testprog", Some(tty), alice())
+                    .unwrap();
+                consoles.push((name, console));
+                if i % 16 == 4 {
+                    interrupt_targets.push((mid, pid));
+                } else {
+                    tty_readers.push(consoles.len() - 1);
+                }
+            }
+            5 => {
+                w.install_program(mid, "/bin/waiter", &waiting_parent).unwrap();
+                let (tty, console) = w.add_terminal(mid);
+                w.spawn_vm_proc(mid, "/bin/waiter", Some(tty), alice())
+                    .unwrap();
+                consoles.push((name, console));
+                tty_readers.push(consoles.len() - 1);
+            }
+            6 => {
+                // Native worker: a local child, a sleep, then a remote
+                // command on the next host — RemoteWait both ways.
+                let peer = format!("h{:03}", i + 1);
+                w.spawn_native_proc(
+                    mid,
+                    "worker",
+                    None,
+                    alice(),
+                    Box::new(move |sys| {
+                        let _ = sys.sleep_us(1_500);
+                        let _ = sys.run_local("localchild", |s| {
+                            let _ = s.compute(500);
+                            0
+                        });
+                        sys.rsh(&peer, "remotechild", |s| {
+                            let _ = s.sleep_us(700);
+                            7
+                        })
+                        .unwrap_or(111)
+                    }),
+                );
+            }
+            _ => {} // Idle host: exercises ready-index eviction.
+        }
+    }
+
+    // The Figure-4 migrate pair on top of the numbered hosts.
+    let brick = w.add_machine("brick", IsaLevel::Isa1);
+    let schooner = w.add_machine("schooner", IsaLevel::Isa1);
+    w.install_program(brick, "/bin/testprog", &testprog).unwrap();
+    let (vtty, victim_console) = w.add_terminal(brick);
+    let victim = w
+        .spawn_vm_proc(brick, "/bin/testprog", Some(vtty), alice())
+        .unwrap();
+    consoles.push(("victim".into(), victim_console));
+
+    w.run_slices(60_000);
+
+    // Host-side pokes between runs: typed input, SIGINT, then EOF.
+    for &ci in &tty_readers {
+        consoles[ci].1.type_input("ping\n");
+    }
+    for &(mid, pid) in &interrupt_targets {
+        w.host_post_signal(mid, pid, Signal::SIGINT);
+    }
+    w.run_slices(60_000);
+    for &ci in &tty_readers {
+        consoles[ci].1.with(|t| t.close());
+    }
+    w.run_slices(60_000);
+
+    // The remote-command migrate with the most moving parts, pulled
+    // across the cluster while the background workload drains.
+    let cmd = w.spawn_native_proc(
+        schooner,
+        "migrate",
+        None,
+        alice(),
+        Box::new(move |sys| match pmig::migrate(sys, victim, "brick", "schooner") {
+            Ok(status) => status,
+            Err(e) => e.as_u16() as u32,
+        }),
+    );
+    let info = w
+        .run_until_exit(schooner, cmd, 30_000_000)
+        .expect("migrate command exits");
+    if require_success {
+        assert_eq!(info.status, 0, "migrate must succeed");
+    }
+    w.run_slices(400_000);
+
+    snapshot(&w, &consoles)
+}
+
+/// A canonical textual dump of the whole cluster (the shape of
+/// tests/determinism.rs, over every machine and console).
+fn snapshot(w: &World, consoles: &[(String, TtyHandle)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for mid in 0..w.machine_count() {
+        let m = w.machine(mid);
+        writeln!(
+            out,
+            "machine {mid} {} now={}us busy={}us",
+            m.name,
+            m.now.as_micros(),
+            m.busy.as_micros()
+        )
+        .unwrap();
+        let s = &m.stats;
+        writeln!(
+            out,
+            "  stats sys={} ctx={} sig={} rpc={} fork={} exec={} dump={} rest={} faults={}",
+            s.syscalls,
+            s.ctx_switches,
+            s.signals,
+            s.nfs_rpcs,
+            s.forks,
+            s.execs,
+            s.dumps,
+            s.restores,
+            s.faults_injected
+        )
+        .unwrap();
+        for (pid, p) in &m.procs {
+            writeln!(
+                out,
+                "  proc {pid} comm={} state={:?} utime={}us stime={}us",
+                p.comm,
+                p.state,
+                p.utime.as_micros(),
+                p.stime.as_micros()
+            )
+            .unwrap();
+        }
+        writeln!(out, "  fs_hash={:#018x}", fs_tree_hash(&m.fs)).unwrap();
+        writeln!(
+            out,
+            "  ktrace seq={} dropped={}",
+            m.ktrace.seq, m.ktrace.dropped
+        )
+        .unwrap();
+        for r in m.ktrace.records() {
+            writeln!(out, "  kt {}", r.render()).unwrap();
+        }
+    }
+    for (&(mid, pid), info) in &w.finished {
+        writeln!(
+            out,
+            "exit m{mid} pid={pid} status={} cpu={}us",
+            info.status,
+            info.cpu().as_micros()
+        )
+        .unwrap();
+    }
+    for (name, console) in consoles {
+        writeln!(out, "tty {name}:\n{}", console.output_text()).unwrap();
+    }
+    out
+}
+
+fn fs_tree_hash(fs: &vfs::Filesystem) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = FNV_OFFSET;
+    hash_dir(fs, fs.root(), "/", &mut h);
+    h
+}
+
+fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn hash_dir(fs: &vfs::Filesystem, dir: vfs::Ino, path: &str, h: &mut u64) {
+    for name in fs.readdir(dir).unwrap() {
+        let ino = fs.lookup(dir, &name).unwrap();
+        let node = fs.inode(ino).unwrap();
+        let child = format!("{path}{name}");
+        fnv_bytes(h, child.as_bytes());
+        fnv_bytes(h, &node.mode.0.to_be_bytes());
+        fnv_bytes(h, &node.uid.0.to_be_bytes());
+        match &node.kind {
+            InodeKind::Regular(data) => {
+                fnv_bytes(h, b"F");
+                fnv_bytes(h, data);
+            }
+            InodeKind::Directory(_) => {
+                fnv_bytes(h, b"D");
+                hash_dir(fs, ino, &format!("{child}/"), h);
+            }
+            InodeKind::Symlink(target) => {
+                fnv_bytes(h, b"L");
+                fnv_bytes(h, target.as_bytes());
+            }
+            InodeKind::Device(_) => fnv_bytes(h, b"C"),
+        }
+    }
+}
+
+#[test]
+fn event_scheduler_matches_scan_bit_for_bit() {
+    let event = run_scenario(Sched::Event, simnet::FaultPlan::none(), true);
+    assert!(
+        event.contains("machine 104 brick") && event.contains("dump"),
+        "snapshot looks degenerate:\n{}",
+        &event[..event.len().min(4000)]
+    );
+    let event2 = run_scenario(Sched::Event, simnet::FaultPlan::none(), true);
+    assert_eq!(
+        event, event2,
+        "two event-scheduler runs diverged at cluster scale"
+    );
+    let scan = run_scenario(Sched::Scan, simnet::FaultPlan::none(), true);
+    assert_eq!(
+        scan, event,
+        "event scheduler diverged from the reference scan"
+    );
+}
+
+#[test]
+fn faulty_runs_match_across_schedulers() {
+    use simnet::{FaultPlan, FaultSite, FaultSpec};
+    let plan = || {
+        FaultPlan::seeded(0xFEED)
+            .with(FaultSpec::always(FaultSite::MidDumpCrash, 1))
+            .with(FaultSpec::always(FaultSite::NfsOp, 2))
+    };
+    let event = run_scenario(Sched::Event, plan(), false);
+    assert!(
+        event.contains(" fault "),
+        "injected faults must appear in the snapshot"
+    );
+    let event2 = run_scenario(Sched::Event, plan(), false);
+    assert_eq!(event, event2, "faulty event runs diverged");
+    let scan = run_scenario(Sched::Scan, plan(), false);
+    assert_eq!(
+        scan, event,
+        "faulty event run diverged from the reference scan"
+    );
+}
