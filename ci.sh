@@ -11,9 +11,26 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 # Workspace invariant checker: determinism, simtime charging, errno
-# vocabulary, magic literals. Exemptions live in simlint.toml; a
-# nonzero exit means a new violation (or a stale exemption config).
+# vocabulary, magic literals, wake-poke dataflow, snapshot coverage,
+# cross-machine coupling. Exemptions live in simlint.toml; a nonzero
+# exit means a new violation (or a stale exemption config).
 cargo run -p simlint --release
+# Exemption ratchet: --json emits one record per finding (kept +
+# allowlist-silenced); simlint.baseline pins the total. The count may
+# only go down — a rise is a new finding hiding behind the allowlist,
+# a drop means the baseline should be lowered to lock in the progress.
+findings=$(cargo run -q -p simlint --release -- --json | wc -l)
+baseline=$(cat simlint.baseline)
+if [ "$findings" -gt "$baseline" ]; then
+    echo "simlint ratchet: $findings findings exceed baseline $baseline — fix the new finding instead of allowlisting it" >&2
+    exit 1
+elif [ "$findings" -lt "$baseline" ]; then
+    echo "simlint ratchet: $findings findings below baseline $baseline — lower simlint.baseline to lock in the progress" >&2
+    exit 1
+fi
+# Coupling inventory freshness: the checked-in seam map for the future
+# parallel world step must match a fresh render.
+cargo run -q -p simlint --release -- --coupling-report | diff - simlint.coupling.json
 # Smoke-run the measured-syscall figures: drift in the dispatch path's
 # charged costs moves these ratios, and figures_sanity.rs pins the
 # bands — this catches a figures binary that no longer even runs.

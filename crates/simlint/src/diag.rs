@@ -17,6 +17,26 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Renders the ISSUE 7 machine-readable record:
+    /// `{"rule","file","line","symbol","reason"}`. Hand-rolled (no
+    /// serde, per the offline vendored-stub policy); field values are
+    /// escaped for `"` and `\`, which is all our messages can contain.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"symbol\":\"{}\",\"reason\":\"{}\"}}",
+            esc(self.rule),
+            esc(&self.file),
+            self.line,
+            esc(&self.subject),
+            esc(&self.message)
+        )
+    }
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -43,6 +63,22 @@ mod tests {
         assert_eq!(
             d.to_string(),
             "crates/ukernel/src/machine.rs:105: [determinism] HashSet iterates in arbitrary order"
+        );
+    }
+
+    #[test]
+    fn json_record_has_the_issue_schema() {
+        let d = Diagnostic {
+            file: "crates/ukernel/src/world.rs".into(),
+            line: 7,
+            rule: "wake-poke",
+            subject: "sys_alarm".into(),
+            message: "says \"poke\"".into(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"wake-poke\",\"file\":\"crates/ukernel/src/world.rs\",\
+             \"line\":7,\"symbol\":\"sys_alarm\",\"reason\":\"says \\\"poke\\\"\"}"
         );
     }
 }

@@ -13,6 +13,18 @@
 //! * **Magic literals.** The dump magics (0444/0445), `NOFILE` and the
 //!   signal numbering live in `sysdefs`/`dumpfmt` only, so the dump
 //!   writer and the command-side readers cannot drift apart.
+//! * **Wake-poke discipline.** Under the event scheduler, every
+//!   wake-condition mutation must reach a `poke_*`/`wake_queue`
+//!   insert, or a blocked process stalls that the reference scan would
+//!   have woken (DESIGN.md §12).
+//! * **Snapshot coverage.** Every `World`/`Machine`/`MachineStats`
+//!   field is folded into the determinism snapshot or declared
+//!   pure-cache in `simlint.toml` with a reason — the Milanés
+//!   exemption, made explicit.
+//! * **Cross-machine coupling.** Syscall handlers must not index a
+//!   foreign machine's state directly; `--coupling-report` inventories
+//!   every such seam (world layer included) for the parallel-sim
+//!   refactor.
 //!
 //! The pass hand-rolls a small Rust lexer and item visitor (no `syn`,
 //! per the offline vendored-stub policy), runs each rule over the lexed
@@ -44,6 +56,16 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Filtered, String> {
         ));
     }
     Ok(cfg.apply(rules::run_all(&files)))
+}
+
+/// Renders the cross-machine coupling inventory for the workspace at
+/// `root` — the JSON `simlint --coupling-report` prints and ci.sh
+/// diffs against the checked-in `simlint.coupling.json`.
+pub fn coupling_report(root: &Path) -> Result<String, String> {
+    let files = workspace::load_workspace(root)?;
+    Ok(rules::coupling::render_report(&rules::coupling::report(
+        &files,
+    )))
 }
 
 #[cfg(test)]

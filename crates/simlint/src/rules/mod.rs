@@ -7,9 +7,12 @@
 //! rule never needs to know about exemptions.
 
 pub mod charging;
+pub mod coupling;
 pub mod determinism;
 pub mod errno;
 pub mod magics;
+pub mod snapcov;
+pub mod wakepoke;
 
 use crate::diag::Diagnostic;
 use crate::workspace::SourceFile;
@@ -22,6 +25,9 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
     out.extend(charging::check(files));
     out.extend(errno::check(files));
     out.extend(magics::check(files));
+    out.extend(wakepoke::check(files));
+    out.extend(snapcov::check(files));
+    out.extend(coupling::check(files));
     out.sort();
     out
 }

@@ -1,10 +1,13 @@
 //! Item- and call-level views over a token stream.
 //!
-//! The rules need two structural facts the flat token stream does not
-//! give directly: where each `fn` item's body starts and ends (for the
-//! charging rule's call graph) and which identifiers are *called* inside
-//! a range (ident immediately applied with `(`). Both are recovered here
-//! by brace matching — no full parse.
+//! The rules need structural facts the flat token stream does not give
+//! directly: where each `fn` item's body starts and ends (for the
+//! call-graph rules), which identifiers are *called* inside a range
+//! (ident immediately applied with `(`), which fields are *written*
+//! (the dataflow layer the wake-poke and snapshot-coverage rules share),
+//! and which token ranges belong to `#[cfg(test)]` modules (in-source
+//! unit tests legitimately reach into kernel state without poking). All
+//! are recovered here by brace matching — no full parse.
 
 use crate::lexer::{Tok, TokKind};
 
@@ -85,8 +88,169 @@ pub fn fn_items(toks: &[Tok]) -> Vec<FnItem> {
     items
 }
 
+/// One field write: `expr.field = ...`, `expr.field += ...`, or a
+/// mutating method applied to a field (`expr.field.insert(..)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldWrite {
+    /// The written field's name.
+    pub field: String,
+    /// 1-based line of the write.
+    pub line: u32,
+    /// Token index of the field identifier.
+    pub idx: usize,
+    /// For direct assignments, the method is `None`; for mutations
+    /// through a method call (`.field.push(..)`), the method's name.
+    pub via_method: Option<String>,
+}
+
+/// Token ranges (start..end, token indices) of `#[cfg(test)] mod ... {}`
+/// bodies. The dataflow rules skip these: in-source unit tests poke
+/// kernel state directly by design.
+pub fn test_mod_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        let is_cfg_test = toks[i].is_ident("cfg")
+            && toks[i + 1].is_punct("(")
+            && toks[i + 2].is_ident("test")
+            && toks[i + 3].is_punct(")");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Scan a short window forward for `mod <name> {` (skipping the
+        // closing `]` of the attribute and any visibility keywords).
+        let mut j = i + 4;
+        let window_end = (j + 8).min(toks.len());
+        while j < window_end {
+            if toks[j].is_ident("mod") {
+                // `mod name {` or `mod name;` (out-of-line test mods
+                // have no body here).
+                if let Some(open) = toks.get(j + 2) {
+                    if open.is_punct("{") {
+                        let end = match_brace(toks, j + 2);
+                        ranges.push((j + 2, end));
+                        j = end;
+                    }
+                }
+                break;
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    ranges
+}
+
+/// Is token index `idx` inside any of `ranges`?
+pub fn in_ranges(idx: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// Mutating container/collection methods: applying one of these to a
+/// field counts as writing that field.
+const MUTATORS: [&str; 14] = [
+    "insert",
+    "remove",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_first",
+    "pop_front",
+    "pop_back",
+    "extend",
+    "clear",
+    "drain",
+    "retain",
+    "append",
+];
+
+/// Every field write in `toks[start..end]`.
+///
+/// Three shapes are recognised, all anchored on `.` + identifier:
+///
+/// * `x.f = v`   — plain assignment (`==` comparison is excluded);
+/// * `x.f += v`  — compound assignment (any `op=` shape; the lexer
+///   emits multi-character operators one `Punct` at a time);
+/// * `x.f.m(..)` — mutation through a method in [`MUTATORS`].
+///
+/// Reads (`let y = x.f`, `x.f == v`, `x.f.len()`) are not writes.
+pub fn field_writes(toks: &[Tok], start: usize, end: usize) -> Vec<FieldWrite> {
+    let mut out = Vec::new();
+    let end = end.min(toks.len());
+    for i in start..end {
+        if !(toks[i].kind == TokKind::Ident && i > start && toks[i - 1].is_punct(".")) {
+            continue;
+        }
+        let field = toks[i].text.clone();
+        let line = toks[i].line;
+        // `.f.m(` — a mutator applied directly to the field.
+        if let (Some(dot), Some(m), Some(paren)) = (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+        {
+            if dot.is_punct(".")
+                && m.kind == TokKind::Ident
+                && paren.is_punct("(")
+                && MUTATORS.contains(&m.text.as_str())
+            {
+                out.push(FieldWrite {
+                    field,
+                    line,
+                    idx: i,
+                    via_method: Some(m.text.clone()),
+                });
+                continue;
+            }
+        }
+        // `.f =` (not `==`) or `.f <op>= `.
+        let Some(n1) = toks.get(i + 1) else { continue };
+        let direct = n1.is_punct("=") && !toks.get(i + 2).is_some_and(|t| t.is_punct("="));
+        let compound = {
+            const OPS: [&str; 9] = ["+", "-", "*", "/", "%", "|", "&", "^", "<"];
+            let one = OPS.contains(&n1.text.as_str())
+                && n1.kind == TokKind::Punct
+                && toks.get(i + 2).is_some_and(|t| t.is_punct("="));
+            // `<<=` / `>>=`: two shift chars then `=`.
+            let two = (n1.is_punct("<") || n1.is_punct(">"))
+                && toks.get(i + 2).is_some_and(|t| t.text == n1.text)
+                && toks.get(i + 3).is_some_and(|t| t.is_punct("="));
+            // `x.f < y` comparison guard: `<` followed by `=` is `<=`,
+            // a comparison, not an assignment — require the token after
+            // the `=` of a single-char compound not to make it `<=`.
+            if one && (n1.is_punct("<")) {
+                two
+            } else {
+                one || two
+            }
+        };
+        if direct || compound {
+            out.push(FieldWrite {
+                field,
+                line,
+                idx: i,
+                via_method: None,
+            });
+        }
+    }
+    out
+}
+
+/// Every identifier mentioned as a field/method access (`.name`) in
+/// `toks[start..end]`, deduplicated. The snapshot-coverage rule treats
+/// a mention anywhere in the builder's transitive body as coverage.
+pub fn dot_mentions(toks: &[Tok], start: usize, end: usize) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let end = end.min(toks.len());
+    for i in start.max(1)..end {
+        if toks[i].kind == TokKind::Ident && toks[i - 1].is_punct(".") {
+            out.insert(toks[i].text.clone());
+        }
+    }
+    out
+}
+
 /// Index one past the `}` matching the `{` at `open`.
-fn match_brace(toks: &[Tok], open: usize) -> usize {
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < toks.len() {
@@ -176,6 +340,69 @@ mod tests {
         let items = fn_items(&toks);
         let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn field_writes_cover_assignment_shapes() {
+        let toks = lex(
+            "fn f(m: &mut Machine) {\n\
+                 m.busy = t;\n\
+                 p.sig_pending |= bit;\n\
+                 m.peak <<= 1;\n\
+                 m.timers.push(x);\n\
+                 if m.now == t { read(m.now); }\n\
+                 let _ = m.run_queue.len();\n\
+                 if m.depth <= 3 { }\n\
+             }",
+        );
+        let w = field_writes(&toks, 0, toks.len());
+        let names: Vec<(&str, Option<&str>)> = w
+            .iter()
+            .map(|f| (f.field.as_str(), f.via_method.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("busy", None),
+                ("sig_pending", None),
+                ("peak", None),
+                ("timers", Some("push")),
+            ]
+        );
+        assert_eq!(w[0].line, 2);
+    }
+
+    #[test]
+    fn reads_and_comparisons_are_not_writes() {
+        let toks = lex("fn f() { if a.state == Runnable { b.push(a.state); } let x = c.f; }");
+        assert!(field_writes(&toks, 0, toks.len()).is_empty());
+    }
+
+    #[test]
+    fn test_mod_ranges_cover_cfg_test_modules() {
+        let toks = lex(
+            "fn shipped() { p.state = Runnable; }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { p.state = Runnable; }\n\
+             }\n",
+        );
+        let ranges = test_mod_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let writes = field_writes(&toks, 0, toks.len());
+        assert_eq!(writes.len(), 2);
+        assert!(!in_ranges(writes[0].idx, &ranges), "shipped write outside");
+        assert!(in_ranges(writes[1].idx, &ranges), "test write inside");
+    }
+
+    #[test]
+    fn dot_mentions_collect_field_accesses() {
+        let toks = lex("fn snap(w: &World) { go(w.finished.len(), m.stats, fs_hash(&m.fs)); }");
+        let m = dot_mentions(&toks, 0, toks.len());
+        for f in ["finished", "stats", "fs", "len"] {
+            assert!(m.contains(f), "missing {f}");
+        }
+        assert!(!m.contains("snap"));
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! excluded wholesale: those crates are API stand-ins for *external*
 //! dependencies (criterion legitimately reads the host clock), so the
 //! repo's simulation contracts do not apply to them. `target/` is build
-//! output.
+//! output. `fixtures/` directories hold simlint's own seeded-violation
+//! test trees (`crates/simlint/tests/fixtures/`), which exist to be
+//! dirty — linting them would fail the real workspace on purpose-built
+//! true positives.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -80,7 +83,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
         let path = entry.path();
         let name = entry.file_name().to_string_lossy().into_owned();
         if path.is_dir() {
-            if name == "target" || name == "stubs" || name.starts_with('.') {
+            if name == "target" || name == "stubs" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             collect_rs(&path, out)?;
@@ -135,6 +138,22 @@ mod tests {
         assert_eq!(
             classify("examples/quickstart.rs"),
             ("process-migration".to_string(), Role::Example)
+        );
+    }
+
+    #[test]
+    fn fixture_trees_are_not_collected() {
+        // The seeded-violation fixtures under crates/simlint/tests/
+        // must never reach the real lint run.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf();
+        let files = load_workspace(&root).expect("workspace loads");
+        assert!(
+            files.iter().all(|f| !f.rel_path.contains("/fixtures/")),
+            "fixture files leaked into the lint set"
         );
     }
 }

@@ -1,0 +1,46 @@
+//! Fixture Machine: a seeded wake-poke violation (`drop_writer`), a
+//! seeded snapshot-coverage gap (`lazy_index`), and the traps — a
+//! block-direction transition and a `#[cfg(test)]` module — that must
+//! not be flagged.
+
+pub struct Machine {
+    pub id: usize,
+    pub now: SimTime,
+    pub stats: MachineStats,
+    // Seeded violation: never folded, not allowlisted.
+    pub lazy_index: Vec<usize>,
+}
+
+pub struct MachineStats {
+    pub syscalls: u64,
+    pub ctx_switches: u64,
+}
+
+impl Machine {
+    /// Seeded violation: flips a pipe's endpoint count — the EOF wake
+    /// condition for blocked readers — without reaching any poke.
+    pub fn drop_writer(&mut self, q: usize) {
+        if let Some(buf) = self.pipes[q].as_mut() {
+            buf.writers -= 1;
+        }
+    }
+
+    /// Trap: a block-direction transition is a wait *registration*,
+    /// not a wake condition; no poke obligation.
+    pub fn park(&mut self, p: &mut Proc) {
+        p.state = ProcState::Sleeping;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Trap: unit tests mutate kernel state directly by design and
+    // never run under the event scheduler's run loops.
+    #[test]
+    fn poke_free_mutation_is_fine_here() {
+        let mut m = Machine::default();
+        m.pipes[0].as_mut().unwrap().writers = 0;
+        p.state = ProcState::Runnable;
+        p.sig_pending |= 1;
+    }
+}

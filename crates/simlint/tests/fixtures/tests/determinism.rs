@@ -1,0 +1,23 @@
+//! Fixture snapshot builder: folds every World/Machine/MachineStats
+//! field *except* the two seeded gaps (`World::cache_idx`,
+//! `Machine::lazy_index`). The stats fields are folded only through
+//! the `fold_stats` helper — transitive coverage is a trap the rule
+//! must not fall into.
+
+fn snapshot_world(w: &World) -> String {
+    let mut out = String::new();
+    for m in &w.machines {
+        out.push_str(&format!("machine {} now={}\n", m.id, m.now));
+        out.push_str(&fold_stats(&m.stats));
+    }
+    out.push_str(&format!(
+        "ether={} finished={:?}\n",
+        w.ether.frames, w.finished
+    ));
+    out
+}
+
+/// Coverage through a helper counts: the builder reaches this by name.
+fn fold_stats(s: &MachineStats) -> String {
+    format!("sys={} ctx={}\n", s.syscalls, s.ctx_switches)
+}

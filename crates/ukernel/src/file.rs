@@ -164,6 +164,15 @@ impl FileTable {
         self.entries.iter().filter(|e| e.is_some()).count()
     }
 
+    /// Live entries with their slot indexes, for the determinism
+    /// snapshot: slot reuse order is itself simulated state.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &FileStruct)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|f| (i, f)))
+    }
+
     /// Total bytes of kernel memory currently held by name strings —
     /// the quantity the paper's §5.1 dynamic-allocation argument is
     /// about. With fixed-size strings each live entry would pin

@@ -251,6 +251,12 @@ impl Machine {
         pid
     }
 
+    /// The next pid the allocator will hand out, for the determinism
+    /// snapshot.
+    pub fn next_pid(&self) -> u32 {
+        self.next_pid
+    }
+
     /// Borrows a process.
     pub fn proc_ref(&self, pid: Pid) -> Option<&Proc> {
         self.procs.get(&pid.as_u32())

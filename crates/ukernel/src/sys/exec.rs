@@ -118,6 +118,11 @@ fn overlay(cx: &mut SysCtx<'_>, image: &[u8], comm: &str) -> SysResult<()> {
     let m = cx.machine_mut();
     m.stats.execs += 1;
     m.make_runnable(pid);
+    // The overlaid process is runnable with a fresh body: poke so the
+    // event scheduler re-keys this machine even when the overlay was
+    // driven from a remote-exec daemon rather than a local slice.
+    let mid = cx.mid;
+    cx.w.poke_proc(mid, pid);
     Ok(())
 }
 

@@ -649,8 +649,13 @@ pub fn sys_pipe(cx: &mut SysCtx<'_>, as_socket: bool) -> SyscallResult {
                 if let Some(p) = cx.proc_mut() {
                     p.user.fds[fd0] = None;
                 }
-                cx.machine_mut().files.decref(idx0);
-                cx.machine_mut().files.decref(idx1);
+                // Drop the ends through release_kind, or the just-built
+                // pipe/socket slot keeps its endpoint counts forever.
+                for idx in [idx0, idx1] {
+                    if let Some(f) = cx.machine_mut().files.decref(idx) {
+                        release_kind(cx, &f.kind);
+                    }
+                }
                 return Err(e);
             }
         };

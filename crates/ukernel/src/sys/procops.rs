@@ -77,6 +77,8 @@ pub fn sys_fork(cx: &mut SysCtx<'_>) -> SyscallResult {
         m.procs.insert(child_pid.as_u32(), child);
         m.stats.forks += 1;
         m.make_runnable(child_pid);
+        let mid = cx.mid;
+        cx.w.poke_proc(mid, child_pid);
         let c = cx.cost().fork(image_bytes);
         cx.charge(c);
         Ok(SysRetval::ok(child_pid.as_u32()))
@@ -285,6 +287,10 @@ pub fn sys_alarm(cx: &mut SysCtx<'_>, secs: u32) -> SyscallResult {
         let alarm_at = p.alarm_at;
         if let Some(t) = alarm_at {
             cx.machine_mut().push_timer(pid, t);
+            // Re-key the machine's deadline in the ready index: an
+            // alarm armed on an otherwise-idle machine must still fire.
+            let mid = cx.mid;
+            cx.w.poke_proc(mid, pid);
         }
         Ok(SysRetval::ok(remaining))
     })())
@@ -343,6 +349,8 @@ pub fn sys_sleep(cx: &mut SysCtx<'_>, micros: u64) -> SyscallResult {
     if let Some(p) = cx.proc_mut() {
         p.state = ProcState::Sleeping { until };
         cx.machine_mut().push_timer(pid, until);
+        let mid = cx.mid;
+        cx.w.poke_proc(mid, pid);
     }
     let c = Cost::cpu_us(100); // Timer setup.
     cx.charge(c);

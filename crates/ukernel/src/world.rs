@@ -207,6 +207,19 @@ impl World {
         self.terminals[id as usize].clone()
     }
 
+    /// Every terminal in id order, for the determinism snapshot: the
+    /// transcripts are simulated output and must be bit-identical
+    /// across runs like any other state.
+    pub fn terminals(&self) -> &[TtyHandle] {
+        &self.terminals
+    }
+
+    /// The daemon-started remote-command waiters, for the determinism
+    /// snapshot.
+    pub fn daemon_waiters(&self) -> &std::collections::BTreeSet<(MachineId, u32)> {
+        &self.daemon_waiters
+    }
+
     // ------------------------------------------------------------------
     // Small accessors used by the syscall handlers.
     // ------------------------------------------------------------------
@@ -1028,27 +1041,23 @@ impl World {
         }
     }
 
-    /// Event-mode entry into a run loop: the host may have mutated
-    /// anything while the world was parked (typed terminal input, closed
-    /// ttys, posted signals through wrappers that predate the poke
-    /// hooks), so conservatively poke every blocked process once. This
-    /// is O(procs) per *run call*, not per slice — the scan paid it per
-    /// slice.
+    /// Event-mode entry into a run loop. Terminals are the one piece of
+    /// sim state the host mutates without a `World` hook (`TtyHandle`
+    /// hands out the `Arc<Mutex<Terminal>>` directly, so typed input
+    /// and closes are invisible to us), so poke every registered tty
+    /// waiter once per run call; `poke_tty` re-checks the wait
+    /// condition and evicts stale registrations. Every other host entry
+    /// point (`host_post_signal`, `host_reap`, …) pokes at the mutation
+    /// site — enforced statically by simlint's `wake-poke` rule — which
+    /// is what lets this pass be O(tty waiters) instead of the
+    /// conservative every-blocked-process sweep it replaced.
     fn enter_run(&mut self) {
         if self.config.sched != Sched::Event {
             return;
         }
-        for mid in 0..self.machines.len() {
-            let m = &mut self.machines[mid];
-            let procs = &m.procs;
-            let wait_pending = &mut m.wait_pending;
-            wait_pending.extend(
-                procs
-                    .values()
-                    .filter(|p| p.state.is_blocked())
-                    .map(|p| p.pid.as_u32()),
-            );
-            self.wake_queue.insert(mid);
+        let ttys: Vec<u32> = self.tty_waiters.keys().copied().collect();
+        for tty in ttys {
+            self.poke_tty(tty);
         }
     }
 

@@ -12,11 +12,16 @@
 //! migrate with the most moving parts: three machines, the §6.2 test
 //! program stopped at its first prompt on `brick`, and a `migrate`
 //! command run on `schooner` pulling it over.
+//!
+//! The snapshot itself lives in `common::snapshot_world`, shared with
+//! the host-poke regression tests and statically checked for field
+//! coverage by simlint's `snapshot-coverage` rule.
+
+mod common;
 
 use m68vm::{assemble, IsaLevel};
 use sysdefs::{Credentials, Gid, Uid};
 use ukernel::{KernelConfig, World};
-use vfs::InodeKind;
 
 fn alice() -> Credentials {
     Credentials::user(Uid(100), Gid(10))
@@ -41,7 +46,7 @@ fn run_scenario_with(faults: simnet::FaultPlan, require_success: bool) -> String
 
     let obj = assemble(pmig::workloads::TEST_PROGRAM).unwrap();
     w.install_program(brick, "/bin/testprog", &obj).unwrap();
-    let (tty, victim_tty) = w.add_terminal(brick);
+    let (tty, _victim_tty) = w.add_terminal(brick);
     let victim = w
         .spawn_vm_proc(brick, "/bin/testprog", Some(tty), alice())
         .unwrap();
@@ -64,126 +69,7 @@ fn run_scenario_with(faults: simnet::FaultPlan, require_success: bool) -> String
         assert_eq!(info.status, 0, "migrate must succeed");
     }
 
-    snapshot(&w, &victim_tty.output_text())
-}
-
-/// A canonical textual dump of the world: per-machine clocks, event
-/// counters, process accounting, a structural hash of each filesystem
-/// tree, the full `ktrace` ring, and the victim terminal transcript.
-fn snapshot(w: &World, victim_tty: &str) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    for mid in 0..w.machine_count() {
-        let m = w.machine(mid);
-        writeln!(
-            out,
-            "machine {mid} {} now={}us busy={}us",
-            m.name,
-            m.now.as_micros(),
-            m.busy.as_micros()
-        )
-        .unwrap();
-        let s = &m.stats;
-        writeln!(
-            out,
-            "  stats sys={} ctx={} sig={} rpc={} fork={} exec={} dump={} rest={} faults={}",
-            s.syscalls,
-            s.ctx_switches,
-            s.signals,
-            s.nfs_rpcs,
-            s.forks,
-            s.execs,
-            s.dumps,
-            s.restores,
-            s.faults_injected
-        )
-        .unwrap();
-        for (pid, p) in &m.procs {
-            writeln!(
-                out,
-                "  proc {pid} comm={} state={:?} utime={}us stime={}us",
-                p.comm,
-                p.state,
-                p.utime.as_micros(),
-                p.stime.as_micros()
-            )
-            .unwrap();
-        }
-        writeln!(out, "  warm=[{}]", {
-            let v: Vec<&str> = m.warm_paths.iter().map(String::as_str).collect();
-            v.join(",")
-        })
-        .unwrap();
-        writeln!(out, "  fs_hash={:#018x}", fs_tree_hash(&m.fs)).unwrap();
-        // The whole trace ring is part of the contract: identical runs
-        // must cut identical records in identical order.
-        writeln!(
-            out,
-            "  ktrace seq={} dropped={}",
-            m.ktrace.seq, m.ktrace.dropped
-        )
-        .unwrap();
-        for r in m.ktrace.records() {
-            writeln!(out, "  kt {}", r.render()).unwrap();
-        }
-    }
-    for (&(mid, pid), info) in &w.finished {
-        writeln!(
-            out,
-            "exit m{mid} pid={pid} status={} cpu={}us",
-            info.status,
-            info.cpu().as_micros()
-        )
-        .unwrap();
-    }
-    writeln!(out, "tty:\n{victim_tty}").unwrap();
-    out
-}
-
-/// FNV-1a over a canonical depth-first walk of a filesystem tree:
-/// names, inode metadata, and file contents all feed the hash, so any
-/// divergence anywhere in either machine's tree changes the digest.
-fn fs_tree_hash(fs: &vfs::Filesystem) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut h = FNV_OFFSET;
-    hash_dir(fs, fs.root(), "/", &mut h);
-    h
-}
-
-fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(FNV_PRIME);
-    }
-}
-
-fn hash_dir(fs: &vfs::Filesystem, dir: vfs::Ino, path: &str, h: &mut u64) {
-    // readdir is BTreeMap-backed, so this walk order is itself part of
-    // the determinism contract.
-    for name in fs.readdir(dir).unwrap() {
-        let ino = fs.lookup(dir, &name).unwrap();
-        let node = fs.inode(ino).unwrap();
-        let child = format!("{path}{name}");
-        fnv_bytes(h, child.as_bytes());
-        fnv_bytes(h, &node.mode.0.to_be_bytes());
-        fnv_bytes(h, &node.uid.0.to_be_bytes());
-        match &node.kind {
-            InodeKind::Regular(data) => {
-                fnv_bytes(h, b"F");
-                fnv_bytes(h, data);
-            }
-            InodeKind::Directory(_) => {
-                fnv_bytes(h, b"D");
-                hash_dir(fs, ino, &format!("{child}/"), h);
-            }
-            InodeKind::Symlink(target) => {
-                fnv_bytes(h, b"L");
-                fnv_bytes(h, target.as_bytes());
-            }
-            InodeKind::Device(_) => fnv_bytes(h, b"C"),
-        }
-    }
+    common::snapshot_world(&w)
 }
 
 #[test]

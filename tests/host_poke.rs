@@ -1,0 +1,225 @@
+//! Regression tests for the PR-7 wake-poke fixes.
+//!
+//! PR 5's event scheduler shipped with a conservative `enter_run`
+//! sweep: every run call poked every blocked process on every machine,
+//! papering over any mutation site that lacked its own poke. That
+//! sweep is now narrowed to the one genuinely hook-less host channel
+//! (terminal handles), and the sites it was hiding — fork, execve
+//! overlay, `alarm`, `sleep` — poke explicitly, enforced statically by
+//! simlint's `wake-poke` rule. These tests pin the dynamic behavior:
+//! each wait class must wake under the event scheduler and match the
+//! reference scan bit-for-bit on the *full* superset snapshot, which
+//! would have diverged (stalled clocks, stuck procs) were any of those
+//! pokes missing.
+//!
+//! The last test is the snapshot-coverage oracle check: perturbing any
+//! of the newly folded fields must change `common::snapshot_world`,
+//! proving a divergence in them is no longer invisible to the
+//! dual-run tests.
+
+mod common;
+
+use m68vm::{assemble, IsaLevel};
+use sysdefs::{Credentials, Gid, Uid};
+use ukernel::{KernelConfig, Sched, World};
+
+fn alice() -> Credentials {
+    Credentials::user(Uid(100), Gid(10))
+}
+
+fn world(sched: Sched) -> World {
+    let mut cfg = KernelConfig::paper();
+    cfg.sched = sched;
+    World::new(cfg)
+}
+
+/// Two sleeps then exit — wakes ride purely on the timer heap and the
+/// deadline re-key `sys_sleep`'s poke performs.
+const SLEEPER_PROGRAM: &str = r#"
+start:  move.l  #150, d0
+        move.l  #2000, d1
+        trap    #0
+        move.l  #150, d0
+        move.l  #2500, d1
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+"#;
+
+/// alarm(1s) into a 2s sleep: SIGALRM terminates the sleeper at 1s,
+/// exercising `sys_alarm`'s timer poke.
+const ALARM_PROGRAM: &str = r#"
+start:  move.l  #27, d0
+        move.l  #1, d1
+        trap    #0
+        move.l  #150, d0
+        move.l  #2000000, d1
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+"#;
+
+/// pipe() + fork(): the child blocks reading, the parent sleeps then
+/// writes — fork's poke (new runnable child) and the pipe write's
+/// queue poke both on the line.
+const PIPE_PING_PROGRAM: &str = r#"
+start:  move.l  #42, d0
+        trap    #0
+        move.l  d0, d5
+        and.l   #0xffff, d5
+        move.l  d0, d6
+        lsr.l   #16, d6
+        move.l  #2, d0
+        trap    #0
+        tst.l   d0
+        beq     child
+        move.l  #150, d0
+        move.l  #3000, d1
+        trap    #0
+        move.l  #4, d0
+        move.l  d6, d1
+        move.l  #msg, d2
+        move.l  #4, d3
+        trap    #0
+        move.l  #7, d0
+        move.l  #0, d1
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+child:  move.l  #3, d0
+        move.l  d5, d1
+        move.l  #buf, d2
+        move.l  #4, d3
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+        .data
+msg:    .byte   'p'
+        .byte   'o'
+        .byte   'k'
+        .byte   'e'
+        .bss
+buf:    .space  8
+"#;
+
+/// Runs `prog` to completion on a single machine under `sched` and
+/// returns the superset snapshot. The machine is otherwise idle, so
+/// every wake must come from the poke under test — there is no
+/// background slice traffic to mask a stall.
+fn run_program(sched: Sched, prog: &str) -> String {
+    let mut w = world(sched);
+    let mid = w.add_machine("host", IsaLevel::Isa1);
+    let obj = assemble(prog).unwrap();
+    w.install_program(mid, "/bin/prog", &obj).unwrap();
+    let pid = w.spawn_vm_proc(mid, "/bin/prog", None, alice()).unwrap();
+    let info = w
+        .run_until_exit(mid, pid, 30_000_000)
+        .expect("program exits — a stall here means a wake-poke went missing");
+    assert_eq!(info.status, 0);
+    common::snapshot_world(&w)
+}
+
+#[test]
+fn sleep_wakes_without_the_conservative_sweep() {
+    let event = run_program(Sched::Event, SLEEPER_PROGRAM);
+    let scan = run_program(Sched::Scan, SLEEPER_PROGRAM);
+    assert_eq!(scan, event, "sleep wake diverged between schedulers");
+}
+
+#[test]
+fn alarm_fires_without_the_conservative_sweep() {
+    let mut w = world(Sched::Event);
+    let mid = w.add_machine("host", IsaLevel::Isa1);
+    let obj = assemble(ALARM_PROGRAM).unwrap();
+    w.install_program(mid, "/bin/prog", &obj).unwrap();
+    let pid = w.spawn_vm_proc(mid, "/bin/prog", None, alice()).unwrap();
+    // SIGALRM's default action kills the sleeper mid-sleep; exit status
+    // is therefore nonzero, but the process must *finish*.
+    w.run_until_exit(mid, pid, 30_000_000)
+        .expect("alarm must fire on an otherwise-idle machine");
+    let event = common::snapshot_world(&w);
+
+    let mut w2 = world(Sched::Scan);
+    let mid2 = w2.add_machine("host", IsaLevel::Isa1);
+    w2.install_program(mid2, "/bin/prog", &obj).unwrap();
+    let pid2 = w2.spawn_vm_proc(mid2, "/bin/prog", None, alice()).unwrap();
+    w2.run_until_exit(mid2, pid2, 30_000_000).expect("scan run");
+    assert_eq!(common::snapshot_world(&w2), event);
+}
+
+#[test]
+fn fork_and_pipe_wake_without_the_conservative_sweep() {
+    let event = run_program(Sched::Event, PIPE_PING_PROGRAM);
+    let scan = run_program(Sched::Scan, PIPE_PING_PROGRAM);
+    assert_eq!(scan, event, "fork/pipe wake diverged between schedulers");
+    assert!(event.contains("fork=1"), "scenario must actually fork");
+}
+
+/// Typed terminal input arrives through the `TtyHandle`'s shared
+/// `Arc<Mutex<Terminal>>` — the one host mutation the `World` cannot
+/// hook. The narrowed `enter_run` covers it by poking registered tty
+/// waiters at run entry; this pins that a reader parked across a run
+/// boundary still wakes, identically under both schedulers.
+#[test]
+fn tty_input_between_runs_wakes_the_reader() {
+    let run = |sched: Sched| {
+        let mut w = world(sched);
+        let mid = w.add_machine("host", IsaLevel::Isa1);
+        let obj = assemble(pmig::workloads::TEST_PROGRAM).unwrap();
+        w.install_program(mid, "/bin/testprog", &obj).unwrap();
+        let (tty, console) = w.add_terminal(mid);
+        let pid = w
+            .spawn_vm_proc(mid, "/bin/testprog", Some(tty), alice())
+            .unwrap();
+        // Park the program at its prompt, then type from the host side
+        // between run calls, then close for EOF.
+        w.run_slices(50_000);
+        console.type_input("ping\n");
+        w.run_slices(50_000);
+        console.with(|t| t.close());
+        let info = w
+            .run_until_exit(mid, pid, 30_000_000)
+            .expect("tty reader must wake on host-typed input");
+        (info.status, common::snapshot_world(&w))
+    };
+    let (status_e, event) = run(Sched::Event);
+    let (status_s, scan) = run(Sched::Scan);
+    assert_eq!(status_e, status_s);
+    assert_eq!(scan, event, "tty wake diverged between schedulers");
+}
+
+/// The snapshot-coverage half of the contract, checked dynamically:
+/// perturbing each newly folded field must change the snapshot. Before
+/// this PR every one of these edits left the oracle string untouched.
+#[test]
+fn snapshot_sees_the_newly_folded_fields() {
+    let mut w = world(Sched::Event);
+    let mid = w.add_machine("host", IsaLevel::Isa1);
+    let base = common::snapshot_world(&w);
+
+    let mut w2 = world(Sched::Event);
+    let mid2 = w2.add_machine("host", IsaLevel::Isa1);
+    assert_eq!(base, common::snapshot_world(&w2), "identical worlds match");
+
+    w2.ether.frames_sent += 1;
+    let after_ether = common::snapshot_world(&w2);
+    assert_ne!(base, after_ether, "ether counters now folded");
+
+    w2.machine_mut(mid2).exec_mig_flag = true;
+    let after_flag = common::snapshot_world(&w2);
+    assert_ne!(after_ether, after_flag, "exec_mig_flag now folded");
+
+    w2.machine_mut(mid2).pipes.push(Some(Default::default()));
+    let after_pipe = common::snapshot_world(&w2);
+    assert_ne!(after_flag, after_pipe, "pipe slots now folded");
+
+    w2.machine_mut(mid2).run_queue.push_back(sysdefs::Pid(99));
+    let after_rq = common::snapshot_world(&w2);
+    assert_ne!(after_pipe, after_rq, "run queue now folded");
+
+    let _ = mid;
+}
