@@ -44,4 +44,15 @@ cargo run --release -p bench --bin figures -- fig1 fig2 fig3 faults
 # tier (`figures cluster`) adds the 256-host comparison and the
 # 1024-host event-only point.
 cargo run --release -p bench --bin figures -- cluster-smoke
+# Live-migration protocol comparison, smoke tier: eager vs pre-copy vs
+# demand-restore moving the dirty-page hog off the loaded node, with
+# pre-copy's downtime asserted strictly below eager's. The simulator is
+# deterministic, so the freshly written BENCH_migration.json must match
+# the checked-in copy bit for bit — a diff means the engine's costs
+# moved and the committed numbers are stale.
+mig_stale=$(mktemp)
+cp BENCH_migration.json "$mig_stale"
+cargo run --release -p bench --bin figures -- migration-smoke
+diff "$mig_stale" BENCH_migration.json
+rm -f "$mig_stale"
 cargo bench -p bench --bench simulator -- --test

@@ -26,5 +26,5 @@ pub mod header;
 pub use core_dump::{required_isa, undump, CoreError, CoreFile, UndumpError, CORE_MAGIC};
 pub use header::{
     encode_executable, encode_object, parse_executable, AoutError, AoutHeader, Executable,
-    AOUT_HEADER_LEN, OMAGIC,
+    AOUT_HEADER_LEN, MID_ISA1, MID_ISA2, OMAGIC,
 };

@@ -101,6 +101,7 @@ pub fn snapshot_once(sys: &Sys, pid: Pid, dir: &str, n: u32) -> SysResult<Pid> {
     let args = RestartArgs {
         pid,
         dump_host: None,
+        demand: false,
     };
     let (status, child) =
         sys.run_local_pid("restart", move |s| restart(s, &args).as_u16() as u32)?;
@@ -159,6 +160,7 @@ pub fn restore_checkpoint(sys: &Sys, dir: &str, n: u32, pid_at_dump: Pid) -> Err
         &RestartArgs {
             pid: pid_at_dump,
             dump_host: None,
+            demand: false,
         },
     )
 }

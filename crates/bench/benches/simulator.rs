@@ -172,6 +172,7 @@ fn bench_full_migration(c: &mut Criterion) {
                 RestartArgs {
                     pid,
                     dump_host: Some("brick".into()),
+                    demand: false,
                 },
                 Some(tty2),
                 alice,

@@ -10,6 +10,8 @@
 //! figures faults          # fault-injection soak matrix
 //! figures cluster         # cluster-scale scheduler bench, full tier
 //! figures cluster-smoke   # same, CI-sized (writes BENCH_cluster.json)
+//! figures migration       # live-migration protocols, full tier
+//! figures migration-smoke # same, CI-sized (writes BENCH_migration.json)
 //! figures --json          # machine-readable output (EXPERIMENTS.md)
 //! ```
 
@@ -210,6 +212,46 @@ fn run_cluster(json: bool, smoke: bool) {
     }
 }
 
+fn run_migration(json: bool, smoke: bool) {
+    let rows = scenarios::migration(smoke);
+    for r in &rows {
+        assert_eq!(r.status, 0, "{}: migration failed", r.protocol);
+        assert_eq!(r.survivor, "target", "{}: did not land on target", r.protocol);
+    }
+    let eager = rows.iter().find(|r| r.protocol == "eager").expect("eager row");
+    let precopy = rows.iter().find(|r| r.protocol == "precopy").expect("precopy row");
+    assert!(
+        precopy.downtime_ms < eager.downtime_ms,
+        "pre-copy downtime ({:.1} ms) must undercut eager ({:.1} ms) on the dirty-page hog",
+        precopy.downtime_ms,
+        eager.downtime_ms
+    );
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("migration_protocols".into())),
+        ("tier".into(), Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("rows".into(), rows.as_slice().to_json()),
+    ]);
+    let text = to_string_pretty(&report);
+    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_migration.json");
+    std::fs::write(&dest, &text).expect("write BENCH_migration.json");
+    if json {
+        println!("{text}");
+        return;
+    }
+    hr("Live migration: downtime vs total per protocol (BENCH_migration.json)");
+    println!(
+        "{:<10} {:>12} {:>10} {:>7} {:>10} {:>9} {:>11}",
+        "protocol", "downtime(ms)", "total(ms)", "rounds", "precopied", "fetched", "bytes sent"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>12.1} {:>10.1} {:>7} {:>10} {:>9} {:>11}",
+            r.protocol, r.downtime_ms, r.total_ms, r.rounds, r.pages_precopied, r.pages_fetched,
+            r.bytes_sent
+        );
+    }
+}
+
 fn run_ablations(json: bool) {
     let daemon = scenarios::ablation_daemon();
     let virt = scenarios::ablation_virt();
@@ -303,6 +345,11 @@ fn main() {
         run_cluster(json, false);
     } else if all || picks.contains(&"cluster-smoke") {
         run_cluster(json, true);
+    }
+    if picks.contains(&"migration") {
+        run_migration(json, false);
+    } else if all || picks.contains(&"migration-smoke") {
+        run_migration(json, true);
     }
     if all || picks.iter().any(|p| p.starts_with("ablation")) {
         run_ablations(json);

@@ -33,6 +33,7 @@ use std::io::BufRead;
 
 use m68vm::{assemble, IsaLevel};
 use pmig::commands::RestartArgs;
+use pmig::proto::{migrate_proto, Protocol};
 use simnet::{FaultPlan, FaultSite, FaultSpec};
 use pmig::{api, workloads};
 use sysdefs::{Credentials, Gid, Pid, Uid};
@@ -82,11 +83,14 @@ commands:
   cat <host> <path>               print a file
   dumpproc <host> <pid>           run dumpproc there
   restart <host> <pid> [dumphost] run restart there (new terminal)
-  migrate <pid> <from> <to> [on]  run the migrate command
+  migrate <pid> <from> <to> [on] [--proto eager|precopy|demand]
+                                  run the migrate command; --proto picks
+                                  the live-migration protocol engine and
+                                  reports downtime vs total
   fault seed <n>                  (re)seed the fault-injection plan
   fault add <site> <host|*> <from_us> <until_us> <permille> <hits>
                                   arm an injection rule; sites: nfs rsh
-                                  middump enospc
+                                  middump enospc page-fetch
   fault list                      show the plan and its counters
   reap <host>                     sweep orphaned dump files in /usr/tmp
   help                            this text
@@ -225,22 +229,66 @@ fn dispatch(world: &mut World, parts: &[&str]) -> Result<(), String> {
             let pid = Pid(pid.parse().map_err(|_| "bad pid".to_string())?);
             let (tty, _handle) = world.add_terminal(m);
             let new_pid =
-                api::run_restart(world, m, RestartArgs { pid, dump_host }, Some(tty), user())
+                api::run_restart(
+                    world,
+                    m,
+                    RestartArgs { pid, dump_host, demand: false },
+                    Some(tty),
+                    user(),
+                )
                     .map_err(|e| e.to_string())?;
             println!("restored as pid {new_pid} on {host}, terminal tty{tty}");
         }
-        ["migrate", pid, from, to] | ["migrate", pid, from, to, _] => {
+        ["migrate", rest @ ..] if rest.len() >= 3 => {
+            let mut rest: Vec<&str> = rest.to_vec();
+            let mut proto = None;
+            if let Some(i) = rest.iter().position(|a| *a == "--proto") {
+                let name = *rest
+                    .get(i + 1)
+                    .ok_or_else(|| "--proto needs a protocol".to_string())?;
+                proto = Some(Protocol::parse(name).ok_or_else(|| {
+                    format!("unknown protocol `{name}` (eager precopy demand)")
+                })?);
+                rest.drain(i..=i + 1);
+            }
+            let [pid, from, to, on @ ..] = rest.as_slice() else {
+                return Err("usage: migrate <pid> <from> <to> [on] [--proto p]".into());
+            };
             let from_m = machine_by_name(world, from)?;
             let to_m = machine_by_name(world, to)?;
-            let cmd_m = match parts.get(4) {
-                Some(h) => machine_by_name(world, h)?,
-                None => to_m,
-            };
             let pid = Pid(pid.parse().map_err(|_| "bad pid".to_string())?);
-            let (tty, _handle) = world.add_terminal(cmd_m);
-            let new_pid = api::migrate_process(world, pid, from_m, to_m, cmd_m, Some(tty), user())
-                .map_err(|e| e.to_string())?;
-            println!("migrated: now pid {new_pid} on {to}");
+            match proto {
+                None => {
+                    let cmd_m = match on.first() {
+                        Some(h) => machine_by_name(world, h)?,
+                        None => to_m,
+                    };
+                    let (tty, _handle) = world.add_terminal(cmd_m);
+                    let new_pid =
+                        api::migrate_process(world, pid, from_m, to_m, cmd_m, Some(tty), user())
+                            .map_err(|e| e.to_string())?;
+                    println!("migrated: now pid {new_pid} on {to}");
+                }
+                Some(p) => {
+                    let report = migrate_proto(world, pid, from_m, to_m, p, user())
+                        .map_err(|e| e.to_string())?;
+                    println!(
+                        "{}: status {} survivor {:?} pid {:?}",
+                        p.name(),
+                        report.status,
+                        report.survivor,
+                        report.new_pid
+                    );
+                    println!(
+                        "downtime {:.1} ms, total {:.1} ms, {} rounds, {} precopied, {} fetched",
+                        report.downtime_us as f64 / 1_000.0,
+                        report.total_us as f64 / 1_000.0,
+                        report.rounds,
+                        report.pages_precopied,
+                        report.pages_fetched
+                    );
+                }
+            }
         }
         ["fault", "seed", n] => {
             let seed: u64 = n.parse().map_err(|_| "bad seed".to_string())?;
@@ -249,7 +297,7 @@ fn dispatch(world: &mut World, parts: &[&str]) -> Result<(), String> {
         }
         ["fault", "add", site, host, from_us, until_us, per_mille, hits] => {
             let site = FaultSite::parse(site)
-                .ok_or_else(|| format!("unknown site `{site}` (nfs rsh middump enospc)"))?;
+                .ok_or_else(|| format!("unknown site `{site}` (nfs rsh middump enospc page-fetch)"))?;
             let machine = match *host {
                 "*" => None,
                 name => Some(machine_by_name(world, name)?),

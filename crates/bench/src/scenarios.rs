@@ -262,6 +262,7 @@ pub fn fig3() -> Vec<Fig3Row> {
         RestartArgs {
             pid: victim,
             dump_host: None,
+            demand: false,
         },
         Some(tty_r),
         alice(),
@@ -349,6 +350,7 @@ fn fig4_baseline() -> SimDuration {
         RestartArgs {
             pid: victim,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty),
         alice(),
@@ -499,6 +501,7 @@ pub fn ablation_virt() -> Vec<AblationVirtRow> {
             RestartArgs {
                 pid,
                 dump_host: None,
+                demand: false,
             },
             Some(tty2),
             alice(),
@@ -1086,6 +1089,81 @@ pub fn kernel_syscalls() -> Vec<KernelSyscallRow> {
 }
 
 // ---------------------------------------------------------------------
+// Live-migration protocol comparison: downtime vs total per protocol.
+// ---------------------------------------------------------------------
+
+/// One protocol's run of the live-migration comparison: the dirty-page
+/// hog moved off the loaded machine of a three-node installation.
+#[derive(Clone, Debug)]
+pub struct MigrationRow {
+    /// `eager`, `precopy` or `demand`.
+    pub protocol: String,
+    /// Freeze-to-runnable: how long no copy of the hog could run.
+    pub downtime_ms: f64,
+    /// Engine start to finish, including pre-copy rounds and the
+    /// residual drain.
+    pub total_ms: f64,
+    /// Pre-copy rounds run (0 for the other protocols).
+    pub rounds: u32,
+    /// Pages streamed live before the freeze.
+    pub pages_precopied: u64,
+    /// Residual pages the engine pulled after the restart.
+    pub pages_fetched: u64,
+    /// Page payload moved outside the dump files, bytes.
+    pub bytes_sent: u64,
+    /// Where the live copy ended up.
+    pub survivor: String,
+    /// Engine status (0 = migrated).
+    pub status: u32,
+}
+
+/// Runs each protocol against a fresh copy of the load-balancing shape:
+/// three machines, the dirty-page hog on `node0`, migrated to the idle
+/// `node1`. Identical worlds per protocol, so downtime and total are
+/// directly comparable.
+pub fn migration(smoke: bool) -> Vec<MigrationRow> {
+    use pmig::proto::{migrate_proto, Protocol};
+    use pmig::Survivor;
+    // The full tier carries four times the ballast the smoke tier does:
+    // enough that eager's frozen copy of the whole image visibly costs.
+    let (rounds, ballast) = if smoke {
+        (1_500u32, 10 * 0x2000u32)
+    } else {
+        (6_000u32, 40 * 0x2000u32)
+    };
+    let mut out = Vec::new();
+    for proto in Protocol::ALL {
+        let mut w = World::new(KernelConfig::paper());
+        let node0 = w.add_machine("node0", IsaLevel::Isa1);
+        let node1 = w.add_machine("node1", IsaLevel::Isa1);
+        let _ = w.add_machine("node2", IsaLevel::Isa1);
+        let obj = assemble(&workloads::dirty_hog_program(rounds, ballast)).unwrap();
+        w.install_program(node0, "/bin/hog", &obj).unwrap();
+        let pid = w.spawn_vm_proc(node0, "/bin/hog", None, alice()).unwrap();
+        w.run_slices(10);
+        let report =
+            migrate_proto(&mut w, pid, node0, node1, proto, alice()).expect("engine completes");
+        let survivor = match report.survivor {
+            Survivor::Target => "target",
+            Survivor::Source => "source",
+            Survivor::Lost => "lost",
+        };
+        out.push(MigrationRow {
+            protocol: proto.name().into(),
+            downtime_ms: report.downtime_us as f64 / 1_000.0,
+            total_ms: report.total_us as f64 / 1_000.0,
+            rounds: report.rounds,
+            pages_precopied: report.pages_precopied,
+            pages_fetched: report.pages_fetched,
+            bytes_sent: report.bytes_sent,
+            survivor: survivor.into(),
+            status: report.status,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // JSON field listings for the `figures --json` output.
 // ---------------------------------------------------------------------
 
@@ -1100,6 +1178,17 @@ impl_to_json!(AblationCheckpointRow { interval_ms, completion_ms, overhead, expe
 impl_to_json!(AblationLoadbalRow { policy, makespan_ms, migrations });
 impl_to_json!(KernelSyscallRow { syscall, count, total_us, max_us });
 impl_to_json!(FaultSoakRow { case, status, survivor, injected, live_copies, dumps_left });
+impl_to_json!(MigrationRow {
+    protocol,
+    downtime_ms,
+    total_ms,
+    rounds,
+    pages_precopied,
+    pages_fetched,
+    bytes_sent,
+    survivor,
+    status,
+});
 impl_to_json!(ClusterRow {
     hosts,
     sched,

@@ -17,11 +17,18 @@
 //!
 //! Both formats are binary, big-endian, and validated by magic number
 //! exactly as `restart` checks them.
+//!
+//! Pre-copy migration adds a fourth file, **`deltaXXXXX`**
+//! ([`DeltaFile`], magic octal **446**): the freeze-time dump of the
+//! still-dirty data pages, which replaces `a.outXXXXX` when the bulk of
+//! the image has already been streamed while the process ran.
 
+pub mod delta_file;
 pub mod files_file;
 pub mod naming;
 pub mod stack_file;
 
+pub use delta_file::{DeltaFile, DeltaPage, DELTA_MAGIC};
 pub use files_file::{FdRecord, FilesFile, FILES_MAGIC};
 pub use naming::{dump_file_names, DumpFileNames};
 pub use stack_file::{SignalState, StackFile, STACK_MAGIC};

@@ -12,6 +12,9 @@ pub struct DumpFileNames {
     pub files: String,
     /// `/usr/tmp/stackXXXXX` — the kernel-level restart information.
     pub stack: String,
+    /// `/usr/tmp/deltaXXXXX` — the pre-copy freeze delta (written
+    /// instead of `a.outXXXXX` when the dump runs in delta mode).
+    pub delta: String,
 }
 
 /// Names the dump files for `pid`, "where `XXXXX` is the process id of
@@ -21,6 +24,7 @@ pub fn dump_file_names(pid: Pid) -> DumpFileNames {
         a_out: format!("{DUMP_DIR}/a.out{:05}", pid.as_u32()),
         files: format!("{DUMP_DIR}/files{:05}", pid.as_u32()),
         stack: format!("{DUMP_DIR}/stack{:05}", pid.as_u32()),
+        delta: format!("{DUMP_DIR}/delta{:05}", pid.as_u32()),
     }
 }
 
@@ -34,6 +38,7 @@ mod tests {
         assert_eq!(n.a_out, "/usr/tmp/a.out01234");
         assert_eq!(n.files, "/usr/tmp/files01234");
         assert_eq!(n.stack, "/usr/tmp/stack01234");
+        assert_eq!(n.delta, "/usr/tmp/delta01234");
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub enum Fault {
         /// The out-of-range stack pointer.
         sp: u32,
     },
+    /// Access to a resident-elsewhere page of a demand-restored image.
+    /// Not a signal: the kernel parks the process and fetches the page
+    /// from the source dump, then replays the instruction.
+    PageAbsent {
+        /// The first absent byte the access touched.
+        addr: u32,
+    },
 }
 
 /// The outcome of executing one instruction.

@@ -12,6 +12,8 @@
 //! to text fault, letting the kernel convert both into the appropriate
 //! signals.
 
+use std::collections::BTreeSet;
+
 use crate::cpu::Fault;
 
 /// The fixed virtual-address plan shared by every process image.
@@ -33,10 +35,26 @@ impl MemoryLayout {
         let end = Self::TEXT_BASE + text_len;
         end.div_ceil(Self::PAGE) * Self::PAGE
     }
+
+    /// The page number holding `addr` (absolute address over 8 KB pages).
+    pub fn page_of(addr: u32) -> u32 {
+        addr / Self::PAGE
+    }
+
+    /// The base address of page number `page`.
+    pub fn page_addr(page: u32) -> u32 {
+        page * Self::PAGE
+    }
 }
 
 /// A process memory image.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Equality deliberately ignores the dirty set: dirty tracking is pure
+/// cache in the Milanés sense — a migration image dumped with tracking
+/// on must be bit-identical to one dumped with it off. The absent set
+/// *is* semantic (a demand-restored image genuinely lacks those pages)
+/// and participates in equality.
+#[derive(Clone, Debug)]
 pub struct Memory {
     text: Vec<u8>,
     /// Initialised data + bss, starting at `data_base`.
@@ -44,7 +62,25 @@ pub struct Memory {
     data_base: u32,
     /// The stack region; index 0 is `STACK_TOP - STACK_MAX`.
     stack: Vec<u8>,
+    /// Page-granular write tracking over data + stack, armed only while
+    /// a pre-copy migration is watching the image.
+    dirty: Option<BTreeSet<u32>>,
+    /// Data pages not yet fetched from the source dump (demand restore);
+    /// any access inside one faults with [`Fault::PageAbsent`].
+    absent: BTreeSet<u32>,
 }
+
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        self.text == other.text
+            && self.data == other.data
+            && self.data_base == other.data_base
+            && self.stack == other.stack
+            && self.absent == other.absent
+    }
+}
+
+impl Eq for Memory {}
 
 impl Memory {
     /// Builds an image from a text segment, initialised data and a bss
@@ -58,6 +94,8 @@ impl Memory {
             data,
             data_base,
             stack: vec![0; MemoryLayout::STACK_MAX as usize],
+            dirty: None,
+            absent: BTreeSet::new(),
         }
     }
 
@@ -100,8 +138,179 @@ impl Memory {
         let sp = MemoryLayout::STACK_TOP - contents.len() as u32;
         let base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
         let off = (sp - base) as usize;
+        // Zero the region below the new sp: a restore into a previously
+        // used image (demand restore reuses the live image in place) must
+        // be bit-identical to a restore into a fresh one.
+        self.stack[..off].fill(0);
         self.stack[off..].copy_from_slice(contents);
+        self.mark_dirty_span(base, MemoryLayout::STACK_MAX as usize);
         Some(sp)
+    }
+
+    /// Arms page-granular dirty tracking, with every data and stack page
+    /// initially dirty (a pre-copy round starts by sending everything).
+    pub fn enable_dirty_tracking(&mut self) {
+        self.dirty = Some(self.all_pages());
+    }
+
+    /// Disarms dirty tracking, dropping the set.
+    pub fn disable_dirty_tracking(&mut self) {
+        self.dirty = None;
+    }
+
+    /// True while dirty tracking is armed.
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// How many pages are currently dirty (0 when tracking is off).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.as_ref().map(|d| d.len()).unwrap_or(0)
+    }
+
+    /// The currently dirty pages in page order, without clearing them —
+    /// for the freeze-time delta dump, which must stay retryable: a
+    /// failed dump leaves the set intact so the survivor re-dumps the
+    /// same pages.
+    pub fn dirty_pages(&self) -> Vec<u32> {
+        self.dirty
+            .as_ref()
+            .map(|d| d.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drains the dirty set in page order, leaving tracking armed —
+    /// one pre-copy round's worth of pages to send.
+    pub fn take_dirty(&mut self) -> Vec<u32> {
+        match &mut self.dirty {
+            Some(d) => std::mem::take(d).into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Every data and stack page number of this image.
+    fn all_pages(&self) -> BTreeSet<u32> {
+        let mut pages = BTreeSet::new();
+        let data_end = self.data_base + self.data.len() as u32;
+        let mut a = self.data_base;
+        while a < data_end {
+            pages.insert(MemoryLayout::page_of(a));
+            a += MemoryLayout::PAGE;
+        }
+        let base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
+        let mut a = base;
+        while a < MemoryLayout::STACK_TOP {
+            pages.insert(MemoryLayout::page_of(a));
+            a += MemoryLayout::PAGE;
+        }
+        pages
+    }
+
+    fn mark_dirty_span(&mut self, addr: u32, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if let Some(dirty) = &mut self.dirty {
+            let first = MemoryLayout::page_of(addr);
+            let last = MemoryLayout::page_of(addr + (len as u32 - 1));
+            for p in first..=last {
+                dirty.insert(p);
+            }
+        }
+    }
+
+    /// The bytes of page `page`, clipped to its segment's end. `None`
+    /// when the page maps neither data nor stack, or is absent.
+    pub fn page_slice(&self, page: u32) -> Option<&[u8]> {
+        if self.absent.contains(&page) {
+            return None;
+        }
+        let base = MemoryLayout::page_addr(page);
+        let data_end = self.data_base + self.data.len() as u32;
+        if base >= self.data_base && base < data_end {
+            let o = (base - self.data_base) as usize;
+            let end = (o + MemoryLayout::PAGE as usize).min(self.data.len());
+            return Some(&self.data[o..end]);
+        }
+        let stack_base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
+        if base >= stack_base && base < MemoryLayout::STACK_TOP {
+            let o = (base - stack_base) as usize;
+            return Some(&self.stack[o..o + MemoryLayout::PAGE as usize]);
+        }
+        None
+    }
+
+    /// Installs `bytes` at page `page`, bypassing write protection and
+    /// dirty marking, and clears the page from the absent set — the
+    /// kernel's landing path for a pre-copied or demand-fetched page.
+    /// Returns false when the page maps neither data nor stack or the
+    /// bytes overrun the segment.
+    pub fn install_page(&mut self, page: u32, bytes: &[u8]) -> bool {
+        let base = MemoryLayout::page_addr(page);
+        let data_end = self.data_base + self.data.len() as u32;
+        let stack_base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
+        let ok = if base >= self.data_base && base < data_end {
+            let o = (base - self.data_base) as usize;
+            let end = (o + MemoryLayout::PAGE as usize).min(self.data.len());
+            if bytes.len() == end - o {
+                self.data[o..end].copy_from_slice(bytes);
+                true
+            } else {
+                false
+            }
+        } else if base >= stack_base && base < MemoryLayout::STACK_TOP {
+            let o = (base - stack_base) as usize;
+            if bytes.len() == MemoryLayout::PAGE as usize {
+                self.stack[o..o + bytes.len()].copy_from_slice(bytes);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if ok {
+            self.absent.remove(&page);
+        }
+        ok
+    }
+
+    /// Marks data pages as absent (demand restore: their bytes live only
+    /// in the source dump until fetched). Pages outside the data segment
+    /// are ignored.
+    pub fn set_absent(&mut self, pages: impl IntoIterator<Item = u32>) {
+        let data_end = self.data_base + self.data.len() as u32;
+        for p in pages {
+            let base = MemoryLayout::page_addr(p);
+            if base >= self.data_base && base < data_end {
+                self.absent.insert(p);
+            }
+        }
+    }
+
+    /// True while any page is still absent.
+    pub fn has_absent(&self) -> bool {
+        !self.absent.is_empty()
+    }
+
+    /// The absent page numbers, in order.
+    pub fn absent_pages(&self) -> Vec<u32> {
+        self.absent.iter().copied().collect()
+    }
+
+    /// The first absent byte an access `[addr, addr+len)` would touch.
+    fn absent_hit(&self, addr: u32, len: u32) -> Option<u32> {
+        if self.absent.is_empty() || len == 0 {
+            return None;
+        }
+        let first = MemoryLayout::page_of(addr);
+        let last = MemoryLayout::page_of(addr + len - 1);
+        for p in first..=last {
+            if self.absent.contains(&p) {
+                return Some(addr.max(MemoryLayout::page_addr(p)));
+            }
+        }
+        None
     }
 
     fn locate(&self, addr: u32, len: u32) -> Result<Region, Fault> {
@@ -113,6 +322,9 @@ impl Memory {
         }
         let data_end = self.data_base + self.data.len() as u32;
         if addr >= self.data_base && end <= data_end {
+            if let Some(at) = self.absent_hit(addr, len) {
+                return Err(Fault::PageAbsent { addr: at });
+            }
             return Ok(Region::Data((addr - self.data_base) as usize));
         }
         let stack_base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
@@ -152,10 +364,12 @@ impl Memory {
             Region::Text(_) => Err(Fault::WriteToText { addr }),
             Region::Data(o) => {
                 self.data[o..o + n].copy_from_slice(bytes);
+                self.mark_dirty_span(addr, n);
                 Ok(())
             }
             Region::Stack(o) => {
                 self.stack[o..o + n].copy_from_slice(bytes);
+                self.mark_dirty_span(addr, n);
                 Ok(())
             }
         }
@@ -319,5 +533,107 @@ mod tests {
         let m = mem();
         let hole = MemoryLayout::TEXT_BASE + 64; // Past text end, before data.
         assert!(m.read_u8(hole).is_err());
+    }
+
+    #[test]
+    fn restore_stack_zeroes_below_the_new_sp() {
+        let mut m = mem();
+        // Dirty the whole stack region, then restore a short stack: the
+        // bytes below the new sp must read as zero, exactly as they
+        // would in a fresh image.
+        let base = MemoryLayout::STACK_TOP - MemoryLayout::STACK_MAX;
+        let full = vec![0x5A_u8; MemoryLayout::STACK_MAX as usize];
+        m.restore_stack(&full).unwrap();
+        let sp = m.restore_stack(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(sp, MemoryLayout::STACK_TOP - 4);
+        assert_eq!(m.read_u8(base).unwrap(), 0, "stale byte at stack base");
+        assert_eq!(m.read_u8(sp - 1).unwrap(), 0, "stale byte just below sp");
+        assert_eq!(m.read_u32(sp).unwrap(), 0x01020304);
+
+        // And the restored image equals a fresh restore of the same
+        // contents into a never-used image.
+        let mut fresh = mem();
+        fresh.restore_stack(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.stack_from(base).unwrap(), fresh.stack_from(base).unwrap());
+    }
+
+    #[test]
+    fn dirty_tracking_starts_all_dirty_and_follows_writes() {
+        let mut m = Memory::new(vec![0xAA; 64], vec![0; 3 * 0x2000], 0);
+        assert_eq!(m.take_dirty(), Vec::<u32>::new(), "tracking off: no pages");
+        m.enable_dirty_tracking();
+        let first = m.take_dirty();
+        // 3 data pages + 32 stack pages, all initially dirty.
+        assert_eq!(first.len(), 3 + (MemoryLayout::STACK_MAX / MemoryLayout::PAGE) as usize);
+        assert_eq!(m.dirty_count(), 0);
+
+        // A write dirties exactly the touched pages.
+        let d = m.data_base();
+        m.write_u32(d + 0x2000, 7).unwrap();
+        assert_eq!(m.take_dirty(), vec![MemoryLayout::page_of(d + 0x2000)]);
+
+        // A write spanning a page boundary dirties both pages.
+        m.write_bytes(d + 0x2000 - 2, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(
+            m.take_dirty(),
+            vec![MemoryLayout::page_of(d), MemoryLayout::page_of(d + 0x2000)]
+        );
+
+        m.disable_dirty_tracking();
+        m.write_u32(d, 9).unwrap();
+        assert_eq!(m.dirty_count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_state_but_not_absent_pages() {
+        let mut a = mem();
+        let b = mem();
+        a.enable_dirty_tracking();
+        assert_eq!(a, b, "dirty tracking is pure cache");
+        a.set_absent([MemoryLayout::page_of(a.data_base())]);
+        assert_ne!(a, b, "absent pages are semantic state");
+    }
+
+    #[test]
+    fn absent_page_faults_and_fills() {
+        let mut m = Memory::new(vec![0xAA; 64], vec![0x11; 2 * 0x2000], 0);
+        let d = m.data_base();
+        let page = MemoryLayout::page_of(d + 0x2000);
+        m.set_absent([page]);
+        assert!(m.has_absent());
+        assert_eq!(m.absent_pages(), vec![page]);
+
+        // Reads and writes inside the absent page fault with its address.
+        assert!(matches!(
+            m.read_u8(d + 0x2000),
+            Err(Fault::PageAbsent { addr }) if addr == d + 0x2000
+        ));
+        assert!(matches!(m.write_u8(d + 0x2000, 1), Err(Fault::PageAbsent { .. })));
+        // A spanning access faults at the first absent byte.
+        assert!(matches!(
+            m.read_u32(d + 0x2000 - 2),
+            Err(Fault::PageAbsent { addr }) if addr == d + 0x2000
+        ));
+        // The present page still works, and page_slice refuses the hole.
+        assert_eq!(m.read_u8(d).unwrap(), 0x11);
+        assert!(m.page_slice(page).is_none());
+
+        // Installing the page clears the hole.
+        assert!(m.install_page(page, &vec![0x22; 0x2000]));
+        assert!(!m.has_absent());
+        assert_eq!(m.read_u8(d + 0x2000).unwrap(), 0x22);
+        assert_eq!(m.page_slice(page).unwrap()[0], 0x22);
+    }
+
+    #[test]
+    fn install_page_rejects_bad_pages_and_lengths() {
+        let mut m = mem();
+        assert!(!m.install_page(0, &[0; 0x2000]), "page 0 is unmapped");
+        let d = MemoryLayout::page_of(m.data_base());
+        assert!(!m.install_page(d, &[0; 7]), "length must match the page span");
+        // Short final data page: the clipped length is what fits.
+        let span = m.page_slice(d).unwrap().len();
+        assert!(m.install_page(d, &vec![3; span]));
+        assert_eq!(m.read_u8(m.data_base()).unwrap(), 3);
     }
 }

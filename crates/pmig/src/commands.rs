@@ -44,7 +44,15 @@ pub fn dumpproc(sys: &Sys, pid: Pid) -> SysResult<()> {
     let deadline = sys.gettimeofday()?.saturating_add(DUMP_POLL_TIMEOUT_US);
     let fd = loop {
         sys.sleep_us(DUMP_POLL_SLEEP_US)?;
-        match sys.open(&names.a_out, 0, 0) {
+        // A pre-copy freeze writes `deltaXXXXX` in place of the full
+        // executable, so either file counts as "the dump appeared".
+        match sys
+            .open(&names.a_out, 0, 0)
+            .or_else(|e| match e {
+                Errno::ENOENT => sys.open(&names.delta, 0, 0),
+                other => Err(other),
+            })
+        {
             Ok(fd) => break fd,
             Err(Errno::ENOENT) => {
                 if sys.gettimeofday()? >= deadline {
@@ -92,6 +100,10 @@ pub struct RestartArgs {
     /// The host the process was dumped on (`-h`); `None` means the
     /// current machine.
     pub dump_host: Option<String>,
+    /// Demand-page restore (`-d`): `rest_proc()` loads only the header
+    /// and text now and fetches data pages from the dump on first
+    /// touch, so the dump files must outlive this command.
+    pub demand: bool,
 }
 
 /// **`restart`** (§4.4): verify the dump files, rebuild the user-level
@@ -172,7 +184,13 @@ fn restart_inner(sys: &Sys, args: &RestartArgs) -> Result<Never, Errno> {
 
     // "Calls rest_proc() to restart the old program." The old identity
     // rides along for the §7 id-virtualization extension.
-    let e = sys.rest_proc(&a_out, &stack_path, Some(args.pid), Some(&files.host));
+    let e = sys.rest_proc_mode(
+        &a_out,
+        &stack_path,
+        Some(args.pid),
+        Some(&files.host),
+        args.demand,
+    );
     Err(e)
 }
 
@@ -263,8 +281,11 @@ pub struct MigrateOutcome {
     pub survivor: Survivor,
 }
 
-/// Remote-step attempts before giving up (first try + retries).
-const MIGRATE_TRIES: u32 = 3;
+/// Remote-step attempts before giving up (first try + retries). Shared
+/// with the protocol engine (`crate::proto`) so every retry policy in a
+/// migration — dump, restart, page stream, residual fetch — gives up on
+/// the same schedule.
+pub(crate) const MIGRATE_TRIES: u32 = 3;
 
 /// The first retry backoff; later retries double it.
 const MIGRATE_BACKOFF_US: u64 = 1_000_000;
@@ -273,7 +294,7 @@ const MIGRATE_BACKOFF_US: u64 = 1_000_000;
 /// RPCs, dead rsh/daemon sessions) and dump-side failures that a fresh
 /// `SIGDUMP` can redo because the victim survived them (torn or missing
 /// dump files, transient ENOSPC).
-fn transient(e: u16) -> bool {
+pub(crate) fn transient(e: u16) -> bool {
     [
         Errno::ETIMEDOUT,
         Errno::EHOSTDOWN,
@@ -490,6 +511,7 @@ fn restart_with_retry(
         let args = RestartArgs {
             pid,
             dump_host: Some(from_host.to_string()),
+            demand: false,
         };
         let r = run_on(sys, runner, host, local, "restart", move |s| {
             restart(s, &args).as_u16() as u32
@@ -588,12 +610,13 @@ fn read_whole(sys: &Sys, path: &str) -> SysResult<Vec<u8>> {
     Err(last)
 }
 
-/// Removes the three dump files (best-effort, two tries each: a dropped
-/// NFS Remove reply usually means the unlink *landed* anyway). Anything
-/// that still survives is for [`ukernel::World::host_reap_orphan_dumps`].
+/// Removes the dump files — the eager triple plus any pre-copy
+/// `deltaXXXXX` (best-effort, two tries each: a dropped NFS Remove
+/// reply usually means the unlink *landed* anyway). Anything that
+/// still survives is for [`ukernel::World::host_reap_orphan_dumps`].
 pub fn cleanup_dumps(sys: &Sys, prefix: &str, pid: Pid) {
     let names = dump_file_names(pid);
-    for name in [&names.a_out, &names.files, &names.stack] {
+    for name in [&names.a_out, &names.files, &names.stack, &names.delta] {
         let path = format!("{prefix}{name}");
         if sys.unlink(&path).is_err() {
             let _ = sys.unlink(&path);

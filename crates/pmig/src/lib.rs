@@ -22,6 +22,7 @@
 
 pub mod api;
 pub mod commands;
+pub mod proto;
 pub mod resolve;
 pub mod workloads;
 
@@ -30,4 +31,5 @@ pub use commands::{
     dumpproc, migrate, migrate_with, restart, undump_cmd, MigrateOutcome, RemoteRunner,
     RestartArgs, Survivor,
 };
+pub use proto::{migrate_proto, MigrationReport, Protocol};
 pub use resolve::resolve_links;

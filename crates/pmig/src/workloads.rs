@@ -174,6 +174,43 @@ progress:
     )
 }
 
+/// The dirty-page workload for the live-migration benchmarks: a CPU
+/// hog with `ballast` bytes of bss behind it, re-dirtying a four-page
+/// working set every round — the shape that separates the protocols.
+/// Eager copies the whole ballast frozen; pre-copy streams it live and
+/// freezes for a working-set-sized delta; demand restarts without it
+/// and fetches pages as they are touched. Exits 0.
+pub fn dirty_hog_program(rounds: u32, ballast: u32) -> String {
+    format!(
+        r#"
+start:  move.l  #{rounds}, d7
+outer:  move.l  #2000, d6
+inner:  add.l   #1, d5
+        muls.l  #3, d4
+        sub.l   #1, d6
+        bgt     inner
+        add.l   #1, progress
+        move.l  #ballast, a0
+        move.l  #4, d3
+sweep:  move.l  d7, (a0)
+        add.l   #0x2000, a0
+        sub.l   #1, d3
+        bgt     sweep
+        sub.l   #1, d7
+        bgt     outer
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+        .data
+progress:
+        .long   0
+        .bss
+ballast:
+        .space  {ballast}
+"#
+    )
+}
+
 /// A visual ("screen editor" style) program: switches its terminal to
 /// raw+noecho, then echoes every keystroke back decorated until it sees
 /// `q`. Migration must preserve the raw mode for it to stay usable.

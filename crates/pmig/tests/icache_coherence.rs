@@ -82,6 +82,7 @@ fn migration_restores_identical_guest_state_with_icache_on_and_off() {
             RestartArgs {
                 pid,
                 dump_host: Some("brick".into()),
+                demand: false,
             },
             Some(tty2),
             alice(),
@@ -148,6 +149,7 @@ fn interrupted_and_restored_run_matches_uninterrupted_run() {
         RestartArgs {
             pid: pid_b,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),

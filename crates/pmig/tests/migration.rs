@@ -71,6 +71,7 @@ fn paper_section_4_2_dumpproc_then_restart_on_schooner() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -146,6 +147,7 @@ fn restart_with_missing_dump_files_fails_cleanly() {
         RestartArgs {
             pid: Pid(777),
             dump_host: None,
+            demand: false,
         },
         None,
         alice(),
@@ -174,6 +176,7 @@ fn restart_rejects_corrupt_magic() {
         RestartArgs {
             pid,
             dump_host: None,
+            demand: false,
         },
         None,
         alice(),
@@ -238,6 +241,7 @@ fn socket_fds_come_back_as_dev_null() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -281,6 +285,7 @@ fn editor_keeps_raw_mode_through_local_restart() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -358,6 +363,7 @@ fn pid_dependent_program_breaks_after_migration() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -398,6 +404,7 @@ fn pid_virtualization_extension_fixes_the_tempfile_problem() {
         RestartArgs {
             pid,
             dump_host: None,
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -440,6 +447,7 @@ fn env_dependent_program_crashes_after_migration() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -477,6 +485,7 @@ fn waiting_parent_gets_echild_after_migration() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -538,6 +547,7 @@ fn heterogeneity_isa1_to_isa2_ok_but_not_back() {
         RestartArgs {
             pid,
             dump_host: Some("sun3".into()),
+            demand: false,
         },
         None,
         alice(),
@@ -556,6 +566,7 @@ fn heterogeneity_isa1_to_isa2_ok_but_not_back() {
         RestartArgs {
             pid,
             dump_host: None,
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -619,6 +630,7 @@ fn restart_requires_ownership() {
         RestartArgs {
             pid,
             dump_host: None,
+            demand: false,
         },
         None,
         mallory,
@@ -637,6 +649,7 @@ fn restart_requires_ownership() {
         RestartArgs {
             pid,
             dump_host: None,
+            demand: false,
         },
         Some(tty),
         Credentials::root(),

@@ -26,15 +26,20 @@ pub enum FaultSite {
     MidDumpCrash,
     /// `/usr/tmp` is out of space: the dump write fails with `ENOSPC`.
     DumpEnospc,
+    /// A demand-restore residual page fetch is dropped on the wire: the
+    /// parked process waits out the soft-mount timeout and the fetch is
+    /// retried (`ETIMEDOUT` on the fetching side).
+    PageFetch,
 }
 
 impl FaultSite {
     /// All sites, for matrix scenarios.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::NfsOp,
         FaultSite::Rsh,
         FaultSite::MidDumpCrash,
         FaultSite::DumpEnospc,
+        FaultSite::PageFetch,
     ];
 
     /// Canonical short name, used in trace records and `simsh fault`.
@@ -44,6 +49,7 @@ impl FaultSite {
             FaultSite::Rsh => "rsh",
             FaultSite::MidDumpCrash => "middump",
             FaultSite::DumpEnospc => "enospc",
+            FaultSite::PageFetch => "page-fetch",
         }
     }
 
@@ -58,6 +64,7 @@ impl FaultSite {
             FaultSite::Rsh => 1,
             FaultSite::MidDumpCrash => 2,
             FaultSite::DumpEnospc => 3,
+            FaultSite::PageFetch => 4,
         }
     }
 }
@@ -130,7 +137,7 @@ pub struct FaultPlan {
     /// The armed rules, checked in order (first match decides).
     pub specs: Vec<FaultSpec>,
     /// Per-site eligible-event counters ([`FaultSite::index`] order).
-    counters: [u64; 4],
+    counters: [u64; 5],
     /// Total faults injected.
     pub injected: u64,
 }

@@ -50,4 +50,4 @@ pub use proc::{Body, ExitInfo, Proc, ProcState};
 pub use sys::args::{IoctlReq, Syscall, SyscallResult, Whence};
 pub use sys::ctx::SysCtx;
 pub use user::{FileRef, UserArea};
-pub use world::{RunOutcome, World};
+pub use world::{ImageGeometry, RunOutcome, World};

@@ -86,6 +86,12 @@ pub struct MachineStats {
     pub restores: u64,
     /// Faults injected by the world's [`simnet::FaultPlan`].
     pub faults_injected: u64,
+    /// Pages shipped by pre-copy migration rounds while this machine was
+    /// the source (final frozen delta included).
+    pub pages_precopied: u64,
+    /// Residual pages fetched on demand-restore page faults while this
+    /// machine was the target.
+    pub pages_fetched: u64,
     /// Kernel-side per-syscall aggregates (count, total and max charged
     /// simtime), keyed by trap-table name. Ordered so iteration — and
     /// the figures JSON built from it — is deterministic.
@@ -303,6 +309,7 @@ impl Machine {
         while let Some(&Reverse((t, pid))) = self.timers.peek() {
             let live = self.procs.get(&pid).is_some_and(|p| {
                 matches!(p.state, crate::proc::ProcState::Sleeping { until } if until == t)
+                    || matches!(p.state, crate::proc::ProcState::PageWait { until, .. } if until == t)
                     || p.alarm_at == Some(t)
             });
             if live {

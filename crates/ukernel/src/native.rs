@@ -416,11 +416,26 @@ impl Sys {
         old_pid: Option<Pid>,
         old_host: Option<&str>,
     ) -> Errno {
+        self.rest_proc_mode(aout, stack, old_pid, old_host, false)
+    }
+
+    /// [`Sys::rest_proc`] with an explicit restore mode: `demand` true
+    /// restores only registers + stack + text now and faults the data
+    /// pages over from the dump as they are touched.
+    pub fn rest_proc_mode(
+        &self,
+        aout: &str,
+        stack: &str,
+        old_pid: Option<Pid>,
+        old_host: Option<&str>,
+        demand: bool,
+    ) -> Errno {
         match self.val(Syscall::RestProc {
             aout: aout.into(),
             stack: stack.into(),
             old_pid: old_pid.map(|p| p.as_u32()),
             old_host: old_host.map(str::to_string),
+            demand,
         }) {
             // A non-overlaid success reply never happens; treat it as IO
             // weirdness rather than panicking inside a user program.

@@ -35,6 +35,14 @@ pub enum ProcState {
         /// The remote command's pid there.
         pid: Pid,
     },
+    /// Parked on an absent page of a demand-restored image, waiting for
+    /// the residual-page fetch from the source dump to land.
+    PageWait {
+        /// When the fetch (or its soft-mount timeout) completes.
+        until: SimTime,
+        /// The faulting address; the page is `addr / PAGE`.
+        addr: u32,
+    },
     /// Stopped by `SIGSTOP`/`SIGTSTP`.
     Stopped,
     /// Dead, waiting to be reaped by the parent.
@@ -57,6 +65,10 @@ impl ProcState {
 }
 
 /// The executable body of a process.
+// Nearly every live entry is the large `Vm` variant (Native bodies are
+// short-lived utilities, Idle is init), so boxing it would buy nothing
+// and cost an indirection on the interpreter's hottest path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Body {
     /// A guest program interpreted by the VM.
@@ -89,6 +101,24 @@ pub struct VmBody {
     /// The original entry point from the a.out header, re-recorded in
     /// dumped images so they stay runnable as ordinary programs.
     pub entry: u32,
+    /// Where a demand-restored image fetches its absent pages from;
+    /// `None` once every page is resident (or for ordinary processes).
+    pub residual: Option<ResidualSource>,
+}
+
+/// The residual dependency of a demand-restored process: the source
+/// dump its absent pages are fetched from, page by page, on fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResidualSource {
+    /// The machine still holding the dump.
+    pub server: usize,
+    /// The dump's `a.outXXXXX` path on that machine.
+    pub aout_path: String,
+    /// Byte offset of the data segment image inside that file.
+    pub data_off: usize,
+    /// Consecutive timed-out fetches (reset on success); the kernel
+    /// declares the dependency dead after three strikes.
+    pub tries: u32,
 }
 
 /// A process-table entry (4.2BSD `struct proc` + our accounting).
@@ -126,6 +156,12 @@ pub struct Proc {
     /// Pending `alarm(2)` deadline; `SIGALRM` is posted when the
     /// machine clock passes it.
     pub alarm_at: Option<SimTime>,
+    /// Pre-copy freeze mode: the next `SIGDUMP` writes a `deltaXXXXX`
+    /// of the still-dirty pages instead of the full `a.outXXXXX`. Set
+    /// by the migration engine once the bulk of the image has been
+    /// streamed; cleared with the process (never inherited — `fork`
+    /// children are whole processes, not half-sent images).
+    pub dump_delta: bool,
 }
 
 impl Proc {
@@ -213,6 +249,7 @@ mod tests {
             restart_pc: None,
             comm: "test".into(),
             alarm_at: None,
+            dump_delta: false,
         }
     }
 

@@ -7,7 +7,8 @@
 //! signal) in a file named core."
 
 use aout::{encode_executable, CoreFile};
-use dumpfmt::{dump_file_names, FdRecord, FilesFile, StackFile};
+use dumpfmt::{dump_file_names, DeltaFile, DeltaPage, FdRecord, FilesFile, StackFile};
+use m68vm::MemoryLayout;
 use simnet::FaultSite;
 use simtime::cost::Cost;
 use sysdefs::limits::NOFILE;
@@ -240,7 +241,10 @@ pub fn write_core(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
 }
 
 /// **The `SIGDUMP` action**: write `a.outXXXXX`, `filesXXXXX` and
-/// `stackXXXXX` into `/usr/tmp`.
+/// `stackXXXXX` into `/usr/tmp` — or, for a process frozen at the end
+/// of a pre-copy migration ([`crate::proc::Proc::dump_delta`]),
+/// `deltaXXXXX` with only the still-dirty pages in place of the full
+/// `a.outXXXXX`.
 ///
 /// Fails without killing the caller: on any error (including injected
 /// ENOSPC or a crash torn mid-write) the process's pc is restored so it
@@ -279,22 +283,64 @@ pub fn write_migration_dump(w: &mut World, mid: MachineId, pid: Pid) -> SysResul
 /// [`write_migration_dump`]).
 fn dump_files(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
 
-    let (aout_bytes, files_file, stack_file, owner) = {
+    let (image_bytes, delta_mode, files_file, stack_file, owner) = {
         let p = w.proc_ref(mid, pid).ok_or(Errno::ESRCH)?;
         let Body::Vm(vm) = &p.body else {
             return Err(Errno::EINVAL);
         };
-        // a.outXXXXX: header + text + *current* data (bss folded in, so
-        // static variables keep their dumped values).
-        let aout_bytes = encode_executable(
-            vm.mem.text(),
-            vm.mem.data(),
-            0,
-            // Entry stays the original one so the file runs standalone
-            // ("can be executed as an ordinary program").
-            vm.entry,
-            vm.isa_required,
-        );
+        // A demand-restored image that still lacks pages has no complete
+        // copy *anywhere but the source dump*; dumping the holes would
+        // mint a second, wrong "recoverable copy". Refuse — the caller
+        // keeps running and keeps faulting pages in.
+        if vm.mem.has_absent() {
+            return Err(Errno::EFAULT);
+        }
+        let delta_mode = p.dump_delta;
+        let image_bytes = if delta_mode {
+            // deltaXXXXX: geometry + only the data pages written since
+            // the last pre-copy round. Stack pages may be dirty too but
+            // travel in stackXXXXX regardless, so only data pages go
+            // here. The dirty set is read, not drained: a failed dump
+            // must leave the survivor re-dumpable.
+            let data_base = vm.mem.data_base();
+            let data_end = data_base + vm.mem.data().len() as u32;
+            let pages = vm
+                .mem
+                .dirty_pages()
+                .into_iter()
+                .filter(|&pg| {
+                    let a = MemoryLayout::page_addr(pg);
+                    a >= data_base && a < data_end
+                })
+                .map(|pg| DeltaPage {
+                    page: pg,
+                    bytes: vm.mem.page_slice(pg).expect("resident data page").to_vec(),
+                })
+                .collect();
+            let delta = DeltaFile {
+                entry: vm.entry,
+                machtype: match vm.isa_required {
+                    m68vm::IsaLevel::Isa1 => aout::MID_ISA1,
+                    m68vm::IsaLevel::Isa2 => aout::MID_ISA2,
+                },
+                data_base,
+                data_len: vm.mem.data().len() as u32,
+                pages,
+            };
+            delta.encode().map_err(|_| Errno::EINVAL)?
+        } else {
+            // a.outXXXXX: header + text + *current* data (bss folded in,
+            // so static variables keep their dumped values).
+            encode_executable(
+                vm.mem.text(),
+                vm.mem.data(),
+                0,
+                // Entry stays the original one so the file runs standalone
+                // ("can be executed as an ordinary program").
+                vm.entry,
+                vm.isa_required,
+            )
+        };
         // filesXXXXX: host, cwd, the fixed-size fd table, tty flags.
         let mut fds = vec![FdRecord::Unused; NOFILE];
         for (i, slot) in p.user.fds.iter().enumerate() {
@@ -335,7 +381,7 @@ fn dump_files(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
             regs: vm.cpu.to_regs(),
             sigs: p.user.sigs.clone(),
         };
-        (aout_bytes, files_file, stack_file, p.user.cred.clone())
+        (image_bytes, delta_mode, files_file, stack_file, p.user.cred.clone())
     };
 
     // Gathering cost: the kernel walks the fd table copying names.
@@ -359,9 +405,16 @@ fn dump_files(w: &mut World, mid: MachineId, pid: Pid) -> SysResult<()> {
     let base = |p: &str| p.rsplit('/').next().unwrap_or(p).to_string();
     let files_bytes = files_file.encode().map_err(|_| Errno::EINVAL)?;
     let stack_bytes = stack_file.encode().map_err(|_| Errno::EINVAL)?;
-    // The a.out dump "can be executed as an ordinary program": 0700.
+    // The a.out dump "can be executed as an ordinary program": 0700. A
+    // delta is not executable by itself, so it gets plain 0600 — and
+    // replaces the a.out in the triple (the name tells restart which).
+    let (image_name, image_mode) = if delta_mode {
+        (base(&names.delta), FileMode(0o600))
+    } else {
+        (base(&names.a_out), FileMode(0o700))
+    };
     let dumps: [(String, &[u8], FileMode); 3] = [
-        (base(&names.a_out), &aout_bytes, FileMode(0o700)),
+        (image_name, &image_bytes, image_mode),
         (base(&names.files), &files_bytes, FileMode(0o600)),
         (base(&names.stack), &stack_bytes, FileMode(0o600)),
     ];

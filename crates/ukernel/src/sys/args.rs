@@ -230,6 +230,9 @@ pub enum Syscall {
         old_pid: Option<u32>,
         /// §7 extension: pre-migration hostname to virtualise.
         old_host: Option<String>,
+        /// Demand-restore: load only header + text now, leave the data
+        /// pages absent to be fetched from the dump on first touch.
+        demand: bool,
     },
     /// §7 extension: the true pid regardless of virtualization.
     GetpidReal,
@@ -378,7 +381,8 @@ mod tests {
                 aout: String::new(),
                 stack: String::new(),
                 old_pid: None,
-                old_host: None
+                old_host: None,
+                demand: false
             }
             .name(),
             "rest_proc"

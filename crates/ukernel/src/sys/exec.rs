@@ -110,6 +110,7 @@ fn overlay(cx: &mut SysCtx<'_>, image: &[u8], comm: &str) -> SysResult<()> {
         isa_required,
         entry: exe.header.a_entry,
         icache,
+        residual: None,
     });
     p.pending_syscall = None;
     p.restart_pc = None;
@@ -122,6 +123,117 @@ fn overlay(cx: &mut SysCtx<'_>, image: &[u8], comm: &str) -> SysResult<()> {
     // event scheduler re-keys this machine even when the overlay was
     // driven from a remote-exec daemon rather than a local slice.
     let mid = cx.mid;
+    cx.w.poke_proc(mid, pid);
+    Ok(())
+}
+
+/// The demand-restore overlay: read only the a.out header and text
+/// through the namespace (charging just that prefix), leave every data
+/// page absent, and record the dump as the new body's residual source.
+/// The restored process starts running immediately; each data page is
+/// fetched from the dump the first time an instruction touches it.
+fn overlay_demand(cx: &mut SysCtx<'_>, path: &str, comm: &str) -> SysResult<()> {
+    let mid = cx.mid;
+    let cred = cx.cred()?;
+    let cwd = cx.cwd()?;
+    let res = namei(cx.w, mid, &cred, cwd, path, FollowLast::Yes)?;
+    let cold = cx.machine_mut().touch_path(&format!("slurp:{mid}:{path}"));
+    let c = cx.cost().namei(res.components, cold);
+    cx.charge(c);
+    let fref = res.fref;
+    let node = cx.w.machine(fref.machine).fs.inode(fref.ino)?;
+    let bytes = match &node.kind {
+        InodeKind::Regular(bytes) => {
+            if !node.mode.allows(&cred, node.uid, node.gid, Access::Exec) {
+                return Err(Errno::EACCES);
+            }
+            bytes.clone()
+        }
+        InodeKind::Directory(_) => return Err(Errno::EISDIR),
+        _ => return Err(Errno::EACCES),
+    };
+    let exe = parse_executable(&bytes).map_err(|_| Errno::ENOEXEC)?;
+    let isa_required = exe.isa();
+    if !cx.machine().isa.supports(isa_required) {
+        return Err(Errno::ENOEXEC);
+    }
+    // Charge only the header + text prefix; the data stays behind.
+    let prefix = aout::AOUT_HEADER_LEN + exe.text.len();
+    if fref.machine == mid {
+        let c = cx.cost().disk_read(prefix);
+        cx.charge(c);
+    } else {
+        let mut left = prefix;
+        while left > 0 {
+            let chunk = left.min(8192);
+            cx.charge_rpc(NfsOp::Read(chunk))?;
+            left -= chunk;
+        }
+    }
+    // The image: real text, a zeroed data segment with every page
+    // absent, and the exact migration stack.
+    let data_len = exe.header.a_data + exe.header.a_bss;
+    let mut mem = m68vm::Memory::new(exe.text.clone(), Vec::new(), data_len);
+    let data_base = mem.data_base();
+    let pages: Vec<u32> = {
+        let mut v = Vec::new();
+        let mut a = data_base;
+        while a < data_base + data_len {
+            v.push(m68vm::MemoryLayout::page_of(a));
+            a += m68vm::MemoryLayout::PAGE;
+        }
+        v
+    };
+    mem.set_absent(pages);
+    let mut cpu = Cpu::at_entry(exe.header.a_entry);
+    let (mig, stack) = {
+        let m = cx.machine();
+        (m.exec_mig_flag, m.exec_mig_stack.clone())
+    };
+    if mig {
+        let sp = mem.restore_stack(&stack).ok_or(Errno::ENOMEM)?;
+        cpu.a[7] = sp;
+    }
+    let c = cx.cost().exec_base();
+    cx.charge(c);
+    let icache = if cx.w.config.use_icache {
+        let level = cx.machine().isa;
+        Some(std::sync::Arc::new(m68vm::ICache::build(mem.text(), level)))
+    } else {
+        None
+    };
+    // The residual source is addressed server-locally, so the page
+    // fetches keep working even if this machine's mounts change.
+    let local_path = if fref.machine == mid {
+        path.to_string()
+    } else {
+        path.strip_prefix("/n/")
+            .and_then(|s| s.split_once('/'))
+            .map(|(_, rest)| format!("/{rest}"))
+            .ok_or(Errno::ENOENT)?
+    };
+    let pid = cx.pid;
+    let p = cx.proc_mut().ok_or(Errno::ESRCH)?;
+    p.body = Body::Vm(VmBody {
+        cpu,
+        mem,
+        isa_required,
+        entry: exe.header.a_entry,
+        icache,
+        residual: Some(crate::proc::ResidualSource {
+            server: fref.machine,
+            aout_path: local_path,
+            data_off: aout::AOUT_HEADER_LEN + exe.text.len(),
+            tries: 0,
+        }),
+    });
+    p.pending_syscall = None;
+    p.restart_pc = None;
+    p.state = ProcState::Runnable;
+    p.comm = comm.to_string();
+    let m = cx.machine_mut();
+    m.stats.execs += 1;
+    m.make_runnable(pid);
     cx.w.poke_proc(mid, pid);
     Ok(())
 }
@@ -177,6 +289,7 @@ pub fn sys_rest_proc(
     stack_path: &str,
     old_pid: Option<u32>,
     old_host: Option<&str>,
+    demand: bool,
 ) -> SyscallResult {
     let (t0, c0) = call_entry(cx);
     // What the calling application (restart) spent before reaching the
@@ -222,13 +335,18 @@ pub fn sys_rest_proc(
     // 4. "Calls execve() to execute the a.outXXXXX file, with the
     //    environment set to null."
     let result = (|| -> SysResult<()> {
-        let image = slurp(cx, aout_path, true)?;
         let comm = aout_path
             .rsplit('/')
             .next()
             .unwrap_or(aout_path)
             .to_string();
-        overlay(cx, &image, &comm)
+        if demand {
+            // Lazy variant: header + text now, data pages on fault.
+            overlay_demand(cx, aout_path, &comm)
+        } else {
+            let image = slurp(cx, aout_path, true)?;
+            overlay(cx, &image, &comm)
+        }
     })();
     // 5. "Resets the variable indicating process migration, so that
     //    further calls to execve() will work properly."

@@ -136,7 +136,8 @@ fn route(cx: &mut SysCtx<'_>, sc: &Syscall) -> SyscallResult {
             stack,
             old_pid,
             old_host,
-        } => exec::sys_rest_proc(cx, aout, stack, *old_pid, old_host.as_deref()),
+            demand,
+        } => exec::sys_rest_proc(cx, aout, stack, *old_pid, old_host.as_deref(), *demand),
         GetpidReal => procops::sys_getpid(cx, true),
         GethostnameReal { buf_len, .. } => procops::sys_gethostname(cx, *buf_len, true),
         Getwd { buf_len, .. } => procops::sys_getwd(cx, *buf_len),
@@ -191,6 +192,7 @@ mod tests {
                 stack: String::new(),
                 old_pid: None,
                 old_host: None,
+                demand: false,
             },
             Syscall::GetpidReal,
             Syscall::GethostnameReal { buf_addr: None, buf_len: 0 },

@@ -72,6 +72,7 @@ pub fn sys_fork(cx: &mut SysCtx<'_>) -> SyscallResult {
             restart_pc: None,
             comm,
             alarm_at: None,
+            dump_delta: false,
         };
         let m = cx.machine_mut();
         m.procs.insert(child_pid.as_u32(), child);

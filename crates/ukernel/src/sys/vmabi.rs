@@ -132,6 +132,7 @@ pub fn decode_trap(cpu: &Cpu, mem: &Memory) -> Result<Syscall, Errno> {
             stack: cstr(mem, a2)?,
             old_pid: None,
             old_host: None,
+            demand: false,
         },
         Sysno::GetpidReal => Syscall::GetpidReal,
         Sysno::GethostnameReal => Syscall::GethostnameReal {

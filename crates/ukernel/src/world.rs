@@ -28,6 +28,23 @@ pub enum RunOutcome {
     BudgetExhausted,
 }
 
+/// The fixed part of a VM image a pre-copy target stages before any
+/// data page arrives: everything the reassembled `a.outXXXXX` needs
+/// besides the page contents themselves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImageGeometry {
+    /// The (immutable, never dirty) text segment.
+    pub text: Vec<u8>,
+    /// The original entry point.
+    pub entry: u32,
+    /// The a.out machine id (`a_machtype`) of the required ISA.
+    pub machtype: u16,
+    /// Base guest address of the data segment.
+    pub data_base: u32,
+    /// Data segment length in bytes (data + bss).
+    pub data_len: u32,
+}
+
 /// The whole simulated installation.
 pub struct World {
     /// Kernel build configuration (all machines run the same build, as
@@ -142,6 +159,7 @@ impl World {
             restart_pc: None,
             comm: "init".into(),
             alarm_at: None,
+            dump_delta: false,
         };
         m.procs.insert(Pid::INIT.as_u32(), init);
         self.machines.push(m);
@@ -311,10 +329,10 @@ impl World {
     }
 
     /// Sweeps `/usr/tmp` on `mid` for dump files no live migration owns
-    /// — the `a.outXXXXX`/`filesXXXXX`/`stackXXXXX` triples a
-    /// source-machine crash strands — and unlinks them. Returns the
-    /// names removed, sorted, so callers can report (and tests assert)
-    /// exactly what was reaped.
+    /// — the `a.outXXXXX`/`filesXXXXX`/`stackXXXXX` triples (and the
+    /// pre-copy `deltaXXXXX` files) a source-machine crash strands — and
+    /// unlinks them. Returns the names removed, sorted, so callers can
+    /// report (and tests assert) exactly what was reaped.
     pub fn host_reap_orphan_dumps(&mut self, mid: MachineId) -> Vec<String> {
         let m = &mut self.machines[mid];
         let comps = vpath::components(sysdefs::limits::DUMP_DIR);
@@ -326,7 +344,7 @@ impl World {
         };
         let mut reaped = Vec::new();
         for name in names {
-            let suffix = ["a.out", "files", "stack"]
+            let suffix = ["a.out", "files", "stack", "delta"]
                 .iter()
                 .find_map(|p| name.strip_prefix(p));
             let is_dump = matches!(suffix, Some(s)
@@ -441,6 +459,156 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Pre-copy migration hooks: the protocol engine watches and drains a
+    // running VM process's pages through these. Host-side state flips
+    // carry no simulated cost — the engine charges every transferred
+    // byte through `charge_kernel_rpc` itself.
+    // ------------------------------------------------------------------
+
+    /// Arms (or disarms) page-granular dirty tracking on a VM process.
+    /// Arming starts with every page dirty — the first pre-copy round
+    /// sends the whole image. Returns false for missing or non-VM pids.
+    pub fn host_set_dirty_tracking(&mut self, mid: MachineId, pid: Pid, on: bool) -> bool {
+        match self.proc_mut(mid, pid) {
+            Some(p) => match &mut p.body {
+                Body::Vm(vm) => {
+                    if on {
+                        vm.mem.enable_dirty_tracking();
+                    } else {
+                        vm.mem.disable_dirty_tracking();
+                    }
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Flips the freeze-mode flag: with it set, the next `SIGDUMP`
+    /// writes a `deltaXXXXX` of the still-dirty pages instead of the
+    /// full `a.outXXXXX`. Returns false for missing pids.
+    pub fn host_set_dump_delta(&mut self, mid: MachineId, pid: Pid, on: bool) -> bool {
+        match self.proc_mut(mid, pid) {
+            Some(p) => {
+                p.dump_delta = on;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The fixed image geometry a pre-copy target needs before any page
+    /// arrives: text bytes, entry point, machine id, and the data
+    /// segment's placement. `None` for missing or non-VM pids.
+    pub fn host_image_geometry(&self, mid: MachineId, pid: Pid) -> Option<ImageGeometry> {
+        let p = self.proc_ref(mid, pid)?;
+        let Body::Vm(vm) = &p.body else {
+            return None;
+        };
+        Some(ImageGeometry {
+            text: vm.mem.text().to_vec(),
+            entry: vm.entry,
+            machtype: match vm.isa_required {
+                m68vm::IsaLevel::Isa1 => aout::MID_ISA1,
+                m68vm::IsaLevel::Isa2 => aout::MID_ISA2,
+            },
+            data_base: vm.mem.data_base(),
+            data_len: vm.mem.data().len() as u32,
+        })
+    }
+
+    /// How many pages the process has dirtied since the last drain
+    /// (0 when tracking is off or the pid is gone).
+    pub fn host_dirty_count(&self, mid: MachineId, pid: Pid) -> usize {
+        self.proc_ref(mid, pid)
+            .and_then(|p| match &p.body {
+                Body::Vm(vm) => Some(vm.mem.dirty_count()),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Drains one pre-copy round: takes the dirty set and returns each
+    /// page's current bytes, bumping the source's `pages_precopied`.
+    /// Tracking stays armed, so writes from here on dirty the next
+    /// round's set.
+    pub fn host_take_dirty_pages(&mut self, mid: MachineId, pid: Pid) -> Vec<(u32, Vec<u8>)> {
+        let Some(p) = self.proc_mut(mid, pid) else {
+            return Vec::new();
+        };
+        let Body::Vm(vm) = &mut p.body else {
+            return Vec::new();
+        };
+        let pages: Vec<(u32, Vec<u8>)> = vm
+            .mem
+            .take_dirty()
+            .into_iter()
+            .filter_map(|pg| Some((pg, vm.mem.page_slice(pg)?.to_vec())))
+            .collect();
+        self.machines[mid].stats.pages_precopied += pages.len() as u64;
+        pages
+    }
+
+    /// Fetches one absent page of a demand-restored process from the
+    /// host side — the migration engine's residual drain, which pulls
+    /// the pages the process has not happened to touch yet so the
+    /// source dump can eventually be released. Charges a fault-consulted
+    /// NFS read like the fault path does. Returns `None` when nothing is
+    /// absent (or the pid is gone/non-VM), `Some(Ok(page))` on success,
+    /// `Some(Err(e))` on a dropped RPC or an unreadable source dump.
+    pub fn host_prefetch_absent_page(
+        &mut self,
+        mid: MachineId,
+        pid: Pid,
+    ) -> Option<SysResult<u32>> {
+        let (page, residual, data_base, data_len) =
+            self.proc_ref(mid, pid).and_then(|p| match &p.body {
+                Body::Vm(vm) => Some((
+                    *vm.mem.absent_pages().first()?,
+                    vm.residual.clone()?,
+                    vm.mem.data_base(),
+                    vm.mem.data().len(),
+                )),
+                _ => None,
+            })?;
+        let page_off = (m68vm::MemoryLayout::page_addr(page) - data_base) as usize;
+        let len = (m68vm::MemoryLayout::PAGE as usize).min(data_len - page_off);
+        let (_, r) = self.charge_kernel_rpc(mid, pid, NfsOp::Read(len));
+        if let Err(e) = r {
+            return Some(Err(e));
+        }
+        let off = residual.data_off + page_off;
+        let bytes = match self.host_read_file(residual.server, &residual.aout_path) {
+            Ok(b) if b.len() >= off + len => b[off..off + len].to_vec(),
+            Ok(_) => return Some(Err(Errno::EIO)),
+            Err(e) => return Some(Err(e)),
+        };
+        let m = &mut self.machines[mid];
+        m.stats.pages_fetched += 1;
+        if let Some(p) = m.proc_mut(pid) {
+            if let Body::Vm(vm) = &mut p.body {
+                vm.mem.install_page(page, &bytes);
+                if !vm.mem.has_absent() {
+                    vm.residual = None;
+                }
+            }
+        }
+        Some(Ok(page))
+    }
+
+    /// True while `pid` on `mid` is a demand-restored image still
+    /// missing pages.
+    pub fn host_has_absent_pages(&self, mid: MachineId, pid: Pid) -> bool {
+        self.proc_ref(mid, pid)
+            .map(|p| match &p.body {
+                Body::Vm(vm) => vm.mem.has_absent(),
+                _ => false,
+            })
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
     // Spawning.
     // ------------------------------------------------------------------
 
@@ -503,6 +671,7 @@ impl World {
             restart_pc: None,
             comm: comm.to_string(),
             alarm_at: None,
+            dump_delta: false,
         };
         self.machines[mid].procs.insert(pid.as_u32(), proc);
         self.machines[mid].make_runnable(pid);
@@ -716,6 +885,7 @@ impl World {
                 Wake,
                 CompleteSleep,
                 CompleteRemote(u32, MachineId, Pid),
+                CompletePageFetch(u32),
             }
             let action = {
                 let p = match self.proc_ref(mid, pid) {
@@ -771,6 +941,18 @@ impl World {
                             None => Action::Nothing,
                         }
                     }
+                    ProcState::PageWait { until, addr } => {
+                        if self.machines[mid].now >= *until {
+                            Action::CompletePageFetch(*addr)
+                        } else if signal_wake {
+                            // The signal interrupts the wait; if the
+                            // process survives delivery it replays the
+                            // faulting instruction and re-parks.
+                            Action::Wake
+                        } else {
+                            Action::Nothing
+                        }
+                    }
                     ProcState::Stopped => {
                         // SIGCONT/SIGKILL handling happens at kill time.
                         Action::Nothing
@@ -785,6 +967,7 @@ impl World {
                     self.complete_pending(mid, pid, SysRetval::ok(0));
                     self.machines[mid].make_runnable(pid);
                 }
+                Action::CompletePageFetch(addr) => self.complete_page_fetch(mid, pid, addr),
                 Action::CompleteRemote(status, server, rp) => {
                     // rsh teardown: sync clocks and charge the teardown
                     // phase; local and daemon completions skip it (the
@@ -807,6 +990,136 @@ impl World {
                 }
             }
         }
+    }
+
+    /// Parks a VM process that faulted on an absent page of its
+    /// demand-restored image: the residual-page fetch is in flight, and
+    /// the process sleeps out the RPC's latency on the timer heap (the
+    /// same lazy-deletion discipline as `sleep`). The faulting
+    /// instruction's pc is preserved, so the wake replays it.
+    pub(crate) fn park_page_fetch(&mut self, mid: MachineId, pid: Pid, addr: u32) {
+        let page = m68vm::MemoryLayout::page_of(addr);
+        let len = self
+            .proc_ref(mid, pid)
+            .and_then(|p| match &p.body {
+                Body::Vm(vm) => {
+                    let base = m68vm::MemoryLayout::page_addr(page);
+                    let data_end = vm.mem.data_base() + vm.mem.data().len() as u32;
+                    Some((data_end - base).min(m68vm::MemoryLayout::PAGE))
+                }
+                _ => None,
+            })
+            .unwrap_or(m68vm::MemoryLayout::PAGE);
+        let cost = NfsOp::Read(len as usize).cost(&self.config.cost, &mut self.ether);
+        let m = &mut self.machines[mid];
+        let until = m.now + cost.cpu + cost.wait;
+        if let Some(p) = m.proc_mut(pid) {
+            p.state = ProcState::PageWait { until, addr };
+        }
+        m.push_timer(pid, until);
+        self.wake_queue.insert(mid);
+    }
+
+    /// Completes (or retries, or abandons) a parked residual-page
+    /// fetch: the page travels from the source machine's dump file into
+    /// the waiting image. A fault-plan drop at the `page-fetch` site
+    /// costs the soft-mount window and retries; three consecutive drops
+    /// — or a vanished/torn dump — declare the residual dependency dead
+    /// and kill the process, leaving the source dump as the single
+    /// recoverable copy (the migration engine restarts from it).
+    fn complete_page_fetch(&mut self, mid: MachineId, pid: Pid, addr: u32) {
+        /// Consecutive timed-out fetches before the kernel gives up on
+        /// the source (matches the migration engine's transient-retry
+        /// budget).
+        const PAGE_FETCH_TRIES: u32 = 3;
+
+        let page = m68vm::MemoryLayout::page_of(addr);
+        // The page may have landed while we were parked (the migration
+        // engine's drain prefetches absent pages from the host side);
+        // nothing left to fetch, just resume.
+        let already_resident = self
+            .proc_ref(mid, pid)
+            .map(|p| match &p.body {
+                Body::Vm(vm) => !vm.mem.absent_pages().contains(&page),
+                _ => false,
+            })
+            .unwrap_or(false);
+        if already_resident {
+            self.machines[mid].make_runnable(pid);
+            return;
+        }
+        let info = self.proc_ref(mid, pid).and_then(|p| match &p.body {
+            Body::Vm(vm) => vm
+                .residual
+                .clone()
+                .map(|r| (r, vm.mem.data_base(), vm.mem.data().len())),
+            _ => None,
+        });
+        let Some((residual, data_base, data_len)) = info else {
+            self.kill_residual(mid, pid);
+            return;
+        };
+        if self
+            .fault_fire(FaultSite::PageFetch, mid, pid, Errno::ETIMEDOUT)
+            .is_some()
+        {
+            let until =
+                self.machines[mid].now + SimDuration::micros(simnet::NFS_SOFT_TIMEOUT_US);
+            let give_up = residual.tries + 1 >= PAGE_FETCH_TRIES;
+            if let Some(p) = self.proc_mut(mid, pid) {
+                if let Body::Vm(vm) = &mut p.body {
+                    if let Some(r) = &mut vm.residual {
+                        r.tries += 1;
+                    }
+                }
+            }
+            if give_up {
+                self.kill_residual(mid, pid);
+            } else {
+                let m = &mut self.machines[mid];
+                if let Some(p) = m.proc_mut(pid) {
+                    p.state = ProcState::PageWait { until, addr };
+                }
+                m.push_timer(pid, until);
+            }
+            return;
+        }
+        let page_off = (m68vm::MemoryLayout::page_addr(page) - data_base) as usize;
+        let off = residual.data_off + page_off;
+        let len = (m68vm::MemoryLayout::PAGE as usize).min(data_len - page_off);
+        let bytes = match self.host_read_file(residual.server, &residual.aout_path) {
+            Ok(b) if b.len() >= off + len => b[off..off + len].to_vec(),
+            _ => {
+                self.kill_residual(mid, pid);
+                return;
+            }
+        };
+        let m = &mut self.machines[mid];
+        m.stats.nfs_rpcs += 1;
+        m.stats.pages_fetched += 1;
+        if let Some(p) = m.proc_mut(pid) {
+            if let Body::Vm(vm) = &mut p.body {
+                vm.mem.install_page(page, &bytes);
+                if let Some(r) = &mut vm.residual {
+                    r.tries = 0;
+                }
+                if !vm.mem.has_absent() {
+                    vm.residual = None;
+                }
+            }
+        }
+        m.make_runnable(pid);
+    }
+
+    /// Kills a demand-restored process whose residual dependency
+    /// failed: without its source dump the copy on this machine cannot
+    /// make progress, and the dump remains the one recoverable copy.
+    fn kill_residual(&mut self, mid: MachineId, pid: Pid) {
+        if let Some(p) = self.proc_mut(mid, pid) {
+            p.post_signal(Signal::SIGKILL);
+        }
+        self.machines[mid].make_runnable(pid);
+        self.poke_proc(mid, pid);
     }
 
     /// Would delivering the pending signals do anything (i.e. are they
@@ -1279,10 +1592,23 @@ impl World {
                     }
                 }
             };
+            // A demand-restored image can fault on an absent page, and
+            // the interpreter applies post-increment/pre-decrement
+            // side effects *before* an operand fault surfaces — so while
+            // any page is absent, save the register file each step and
+            // roll it back on a PageAbsent fault, making the parked
+            // instruction cleanly replayable. Pages only appear while
+            // the process is parked, so the flag is stable per take-out;
+            // ordinary processes pay one boolean test per step.
+            let demand_active = vm.mem.has_absent();
+            let mut saved_cpu: Option<m68vm::Cpu> = None;
             // Borrow-free inner loop.
             loop {
                 let checkpoint = spent.saturating_add(SIG_CHECK_UNITS);
                 let pause = loop {
+                    if demand_active {
+                        saved_cpu = Some(vm.cpu.clone());
+                    }
                     let ev = match &vm.icache {
                         Some(ic) => vm.cpu.step_cached(&mut vm.mem, ic),
                         None => vm.cpu.step(&mut vm.mem, isa),
@@ -1362,6 +1688,17 @@ impl World {
                         }
                         break 'quantum;
                     }
+                    Pause::Event(StepEvent::Faulted(m68vm::Fault::PageAbsent { addr })) => {
+                        // Not an error: park for the residual-page fetch
+                        // with the pre-step registers restored, so the
+                        // wake replays the faulting instruction.
+                        if let Some(saved) = saved_cpu.take() {
+                            vm.cpu = saved;
+                        }
+                        self.return_vm_body(mid, pid, vm);
+                        self.park_page_fetch(mid, pid, addr);
+                        break 'quantum;
+                    }
                     Pause::Event(StepEvent::Faulted(f)) => {
                         let sig = match f {
                             m68vm::Fault::Unmapped { .. } | m68vm::Fault::StackOverflow { .. } => {
@@ -1371,6 +1708,9 @@ impl World {
                             m68vm::Fault::IllegalInstruction { .. }
                             | m68vm::Fault::IsaViolation { .. } => Signal::SIGILL,
                             m68vm::Fault::DivZero { .. } => Signal::SIGFPE,
+                            m68vm::Fault::PageAbsent { .. } => {
+                                unreachable!("PageAbsent is handled above")
+                            }
                         };
                         self.return_vm_body(mid, pid, vm);
                         if let Some(p) = self.proc_mut(mid, pid) {
@@ -1712,6 +2052,7 @@ impl World {
                 ProcState::PipeWait => "pipe".to_string(),
                 ProcState::ChildWait => "wait".to_string(),
                 ProcState::RemoteWait { .. } => "remote".to_string(),
+                ProcState::PageWait { .. } => "pagein".to_string(),
                 ProcState::Stopped => "stopped".to_string(),
                 ProcState::Zombie { status } => format!("zombie({status})"),
             };

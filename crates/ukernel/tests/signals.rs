@@ -125,6 +125,7 @@ fn handler_survives_migration_via_stack_file() {
         pmig::commands::RestartArgs {
             pid,
             dump_host: None,
+            demand: false,
         },
         Some(tty2),
         alice(),
@@ -185,6 +186,7 @@ fn ignored_signals_survive_migration() {
         pmig::commands::RestartArgs {
             pid,
             dump_host: None,
+            demand: false,
         },
         Some(tty2),
         alice(),

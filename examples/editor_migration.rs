@@ -51,6 +51,7 @@ fn main() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice.clone(),

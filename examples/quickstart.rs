@@ -78,6 +78,7 @@ fn main() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice,

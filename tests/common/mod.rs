@@ -33,7 +33,8 @@ pub fn snapshot_world(w: &World) -> String {
         let s = &m.stats;
         writeln!(
             out,
-            "  stats sys={} ctx={} sig={} rpc={} fork={} exec={} dump={} rest={} faults={}",
+            "  stats sys={} ctx={} sig={} rpc={} fork={} exec={} dump={} rest={} faults={} \
+             precopy={} fetch={}",
             s.syscalls,
             s.ctx_switches,
             s.signals,
@@ -42,7 +43,9 @@ pub fn snapshot_world(w: &World) -> String {
             s.execs,
             s.dumps,
             s.restores,
-            s.faults_injected
+            s.faults_injected,
+            s.pages_precopied,
+            s.pages_fetched
         )
         .unwrap();
         for (name, agg) in &s.per_syscall {

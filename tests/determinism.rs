@@ -109,3 +109,42 @@ fn faulty_migrate_with_same_fault_seed_is_bit_identical() {
         "two runs with the same fault seed diverged — injected faults must be deterministic"
     );
 }
+
+/// The same contract with the pre-copy engine in the loop: dirty-page
+/// tracking, per-page streaming, the delta freeze, and the engine's
+/// failure recovery must all be simulation events — two faulty pre-copy
+/// runs with one seed end in bit-identical worlds.
+fn run_precopy_scenario(faults: simnet::FaultPlan) -> String {
+    use pmig::proto::{migrate_proto, Protocol};
+    let mut w = World::new(KernelConfig::paper());
+    w.faults = faults;
+    let brick = w.add_machine("brick", IsaLevel::Isa1);
+    let schooner = w.add_machine("schooner", IsaLevel::Isa1);
+    let obj = assemble(&pmig::workloads::dirty_hog_program(3_000, 10 * 0x2000)).unwrap();
+    w.install_program(brick, "/bin/hog", &obj).unwrap();
+    let victim = w.spawn_vm_proc(brick, "/bin/hog", None, alice()).unwrap();
+    w.run_slices(10);
+    let report = migrate_proto(&mut w, victim, brick, schooner, Protocol::PreCopy, alice())
+        .expect("engine completes");
+    format!("{:?}\n{}", report, common::snapshot_world(&w))
+}
+
+#[test]
+fn faulty_precopy_with_same_fault_seed_is_bit_identical() {
+    use simnet::{FaultPlan, FaultSite, FaultSpec};
+    let plan = || {
+        FaultPlan::seeded(0xC0FFEE)
+            .with(FaultSpec::always(FaultSite::NfsOp, 3))
+            .with(FaultSpec::always(FaultSite::MidDumpCrash, 1))
+    };
+    let first = run_precopy_scenario(plan());
+    let second = run_precopy_scenario(plan());
+    assert!(
+        first.contains(" fault "),
+        "injected faults must appear in the ktrace snapshot:\n{first}"
+    );
+    assert_eq!(
+        first, second,
+        "two pre-copy runs with the same fault seed diverged"
+    );
+}

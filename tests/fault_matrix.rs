@@ -61,6 +61,7 @@ fn restart_must_fail(corrupt: impl FnOnce(&mut World, usize, &dumpfmt::DumpFileN
         pmig::RestartArgs {
             pid: victim,
             dump_host: None,
+            demand: false,
         },
         None,
         alice(),
@@ -218,6 +219,7 @@ fn torn_write_from_injected_mid_dump_crash_fails_cleanly() {
         pmig::RestartArgs {
             pid: victim,
             dump_host: None,
+            demand: false,
         },
         None,
         alice(),
@@ -316,6 +318,79 @@ fn loadbal_survives_target_down() {
     }
     for m in 0..w.machine_count() {
         assert!(w.host_reap_orphan_dumps(m).is_empty());
+    }
+}
+
+/// The protocol-engine half of the soak: every live-migration protocol
+/// against every injection site it can meet — NFS drops, a mid-dump
+/// crash, dump ENOSPC, and dropped demand page fetches — is 3 × 4 = 12
+/// cases. However a case lands (migrated, aborted, recovered), the
+/// invariant is the same: exactly one live copy, zero stranded dumps.
+#[test]
+fn protocol_matrix_preserves_failure_atomicity() {
+    use pmig::proto::{migrate_proto, Protocol};
+
+    let sites: [(&str, FaultSite, u32); 4] = [
+        ("nfs", FaultSite::NfsOp, 3),
+        ("middump", FaultSite::MidDumpCrash, 1),
+        ("enospc", FaultSite::DumpEnospc, 1),
+        ("page-fetch", FaultSite::PageFetch, 2),
+    ];
+    for proto in Protocol::ALL {
+        for (label, site, budget) in sites {
+            let case = format!("{}/{}", proto.name(), label);
+            let mut w = World::new(KernelConfig::paper());
+            let brick = w.add_machine("brick", IsaLevel::Isa1);
+            let schooner = w.add_machine("schooner", IsaLevel::Isa1);
+            // Long enough that the victim cannot finish by itself even
+            // under the injected timeouts and the engine's backoffs.
+            let obj = assemble(&pmig::workloads::dirty_hog_program(6_000, 10 * 0x2000)).unwrap();
+            w.install_program(brick, "/bin/hog", &obj).unwrap();
+            let victim = w.spawn_vm_proc(brick, "/bin/hog", None, alice()).unwrap();
+            w.run_slices(10);
+            w.faults = FaultPlan::seeded(0xD1CE).with(FaultSpec::always(site, budget));
+
+            let report = migrate_proto(&mut w, victim, brick, schooner, proto, alice())
+                .unwrap_or_else(|e| panic!("{case}: engine wedged: {e}"));
+            assert_ne!(
+                report.survivor,
+                pmig::Survivor::Lost,
+                "{case}: process lost ({report:?})"
+            );
+            // Page fetches only happen under demand-restore; every other
+            // protocol must sail past an armed page-fetch fault.
+            let injected: u64 = (0..w.machine_count())
+                .map(|m| w.machine(m).stats.faults_injected)
+                .sum();
+            if site != FaultSite::PageFetch || proto == Protocol::Demand {
+                assert!(injected >= 1, "{case}: the fault never fired");
+            }
+
+            // `find_restarted` matches `a.outXXXXX` comms only, which
+            // the original (running as `hog`) never carries — so the
+            // original and a restored incarnation can't double-count,
+            // even when pid numbers collide across machines.
+            let src_alive = w
+                .proc_ref(brick, victim)
+                .is_some_and(|p| !p.comm.starts_with("a.out"))
+                && !w.finished.contains_key(&(brick, victim.as_u32()));
+            let mut live = src_alive as usize;
+            for m in [brick, schooner] {
+                if let Some(p) = pmig::find_restarted(&w, m, victim) {
+                    if w.proc_ref(m, p).is_some() && !w.finished.contains_key(&(m, p.as_u32())) {
+                        live += 1;
+                    }
+                }
+            }
+            assert_eq!(live, 1, "{case}: {live} live copies ({report:?})");
+            for m in 0..w.machine_count() {
+                let stranded = w.host_reap_orphan_dumps(m);
+                assert!(
+                    stranded.is_empty(),
+                    "{case}: dump files stranded on machine {m}: {stranded:?}"
+                );
+            }
+        }
     }
 }
 

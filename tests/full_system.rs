@@ -163,6 +163,7 @@ fn accounting_across_migration() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         None,
         alice(),
@@ -309,6 +310,7 @@ fn pipeline_degrades_cleanly() {
         RestartArgs {
             pid,
             dump_host: Some("brick".into()),
+            demand: false,
         },
         Some(tty2),
         alice(),

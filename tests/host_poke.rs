@@ -192,6 +192,49 @@ fn tty_input_between_runs_wakes_the_reader() {
     assert_eq!(scan, event, "tty wake diverged between schedulers");
 }
 
+/// Demand-restore parking: a demand-restarted process whose data pages
+/// are absent faults on first touch, parks in the `PageWait` class, and
+/// is woken by the kernel's page-fetch completion poke. An otherwise
+/// idle pair of machines means every wake rides that poke alone — a
+/// missing one stalls the event scheduler, and any charging difference
+/// diverges from the reference scan on the full superset snapshot.
+#[test]
+fn demand_page_fault_parks_and_wakes_without_the_sweep() {
+    let run = |sched: Sched| {
+        let mut w = world(sched);
+        let brick = w.add_machine("brick", IsaLevel::Isa1);
+        let schooner = w.add_machine("schooner", IsaLevel::Isa1);
+        let obj = assemble(&pmig::workloads::dirty_hog_program(50, 4 * 0x2000)).unwrap();
+        w.install_program(brick, "/bin/hog", &obj).unwrap();
+        let pid = w.spawn_vm_proc(brick, "/bin/hog", None, alice()).unwrap();
+        w.run_slices(3);
+        let status = pmig::api::run_dumpproc(&mut w, brick, pid, alice()).unwrap();
+        assert_eq!(status, 0);
+        let new_pid = pmig::api::run_restart(
+            &mut w,
+            schooner,
+            pmig::RestartArgs {
+                pid,
+                dump_host: Some("brick".into()),
+                demand: true,
+            },
+            None,
+            alice(),
+        )
+        .expect("demand restart");
+        let info = w
+            .run_until_exit(schooner, new_pid, 60_000_000)
+            .expect("the faulting hog must wake from PageWait and finish");
+        assert_eq!(info.status, 0);
+        (w.machine(schooner).stats.pages_fetched, common::snapshot_world(&w))
+    };
+    let (fetched_event, event) = run(Sched::Event);
+    let (fetched_scan, scan) = run(Sched::Scan);
+    assert!(fetched_event > 0, "the hog must actually page-fault");
+    assert_eq!(fetched_event, fetched_scan);
+    assert_eq!(scan, event, "page-fetch wake diverged between schedulers");
+}
+
 /// The snapshot-coverage half of the contract, checked dynamically:
 /// perturbing each newly folded field must change the snapshot. Before
 /// this PR every one of these edits left the oracle string untouched.
