@@ -75,10 +75,10 @@ const MECHANISM: [(&str, &str); 9] = [
     ("crates/ukernel/src/machine.rs", "push_timer"),
     ("crates/ukernel/src/proc.rs", "post_signal"),
     ("crates/ukernel/src/proc.rs", "take_signal"),
-    ("crates/ukernel/src/world.rs", "wake_one"),
-    ("crates/ukernel/src/world.rs", "fire_alarm"),
-    ("crates/ukernel/src/world.rs", "wake_scan"),
-    ("crates/ukernel/src/world.rs", "service_machine"),
+    ("crates/ukernel/src/world/mod.rs", "wake_one"),
+    ("crates/ukernel/src/world/mod.rs", "fire_alarm"),
+    ("crates/ukernel/src/world/mod.rs", "wake_scan"),
+    ("crates/ukernel/src/world/mod.rs", "service_machine"),
 ];
 
 /// Runs the rule over the workspace.
@@ -313,7 +313,7 @@ mod tests {
     #[test]
     fn mechanism_and_test_modules_are_exempt() {
         let world = file_at(
-            "crates/ukernel/src/world.rs",
+            "crates/ukernel/src/world/mod.rs",
             "impl World { fn wake_one(&mut self, mid: usize, pid: Pid) {
                  self.machines[mid].make_runnable(pid);
              } }",

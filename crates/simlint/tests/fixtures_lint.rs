@@ -7,7 +7,7 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use simlint::rules::{coupling, snapcov, wakepoke};
+use simlint::rules::{coupling, crossshard, snapcov, wakepoke};
 use simlint::workspace::{load_workspace, SourceFile};
 use simlint::Config;
 
@@ -52,6 +52,16 @@ fn snapshot_coverage_finds_the_two_unfolded_fields() {
 }
 
 #[test]
+fn cross_shard_flags_only_the_foreign_mutation() {
+    let d = crossshard::check(&fixture_files());
+    assert_eq!(
+        subjects(&d),
+        BTreeSet::from(["sys_smash".to_string()]),
+        "own-mid trap or seam-layer exemption failed: {d:?}"
+    );
+}
+
+#[test]
 fn coupling_lint_flags_only_the_foreign_index() {
     let d = coupling::check(&fixture_files());
     assert_eq!(
@@ -90,7 +100,7 @@ fn allowlist_entries_are_scoped_to_rule_file_and_subject() {
     let cfg = Config::parse(
         "[[allow]]\n\
          rule = \"snapshot-coverage\"\n\
-         path = \"crates/ukernel/src/world.rs\"\n\
+         path = \"crates/ukernel/src/world/mod.rs\"\n\
          ident = \"World::cache_idx\"\n\
          reason = \"fixture: declared pure-cache\"\n\
          [[allow]]\n\

@@ -1,5 +1,6 @@
 //! One workstation: filesystem, process table, open-file table, clock.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
@@ -11,6 +12,53 @@ use vfs::{DeviceId, Filesystem, Ino};
 
 use crate::file::FileTable;
 use crate::proc::Proc;
+
+fn cred_key(cred: &Credentials) -> (u32, u32, u32, u32) {
+    (
+        cred.ruid.as_u32(),
+        cred.euid.as_u32(),
+        cred.rgid.as_u32(),
+        cred.egid.as_u32(),
+    )
+}
+
+/// One cached `namei` root-walk: the resolution of the client-side
+/// `/n` component every NFS path starts with. Valid only while the
+/// filesystem generation and the resolving credentials both match; the
+/// cache elides the host-side directory walk but the caller still
+/// charges the component exactly as an uncached resolution would, so
+/// simulated time is unaffected (a pure host-cost cache).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NameiCache {
+    /// [`vfs::Filesystem::generation`] at fill time.
+    pub gen: u64,
+    /// Raw (ruid, euid, rgid, egid) of the credentials that walked.
+    pub cred: (u32, u32, u32, u32),
+    /// The resolved inode of `/n`.
+    pub ino: Ino,
+}
+
+/// A system call caught at the shard boundary (`World::shard_gate`):
+/// the slice is frozen exactly at the dispatch point and replayed by
+/// the coordinator's serial phase, so a cross-machine call never
+/// executes on a shard thread. See `crate::world::shard`.
+#[derive(Clone, Debug)]
+pub(crate) struct StagedTrap {
+    /// The process whose slice is frozen.
+    pub pid: Pid,
+    /// The decoded call (fresh traps; retries re-read `pending_syscall`).
+    pub sc: crate::sys::args::Syscall,
+    /// Interpreter units already executed this quantum, not yet charged
+    /// (the resumed quantum charges the full total once, as one slice).
+    pub spent: u64,
+    /// True when the gate caught a blocked-call retry rather than a
+    /// fresh trap: the resume re-enters at the retry dispatch.
+    pub retry: bool,
+    /// The machine clock at the start of the frozen slice — the key the
+    /// coordinator schedules the resume by, preserving the serial
+    /// engine's pick-by-slice-start order.
+    pub key: SimTime,
+}
 
 /// Index of a machine within the world.
 pub type MachineId = usize;
@@ -182,11 +230,42 @@ pub struct Machine {
     pub(crate) queue_waiters: BTreeMap<QueueId, BTreeSet<u32>>,
     /// This machine's key in the world's ready index, if enrolled.
     pub(crate) ready_key: Option<SimTime>,
+    /// A slice frozen at the shard boundary, awaiting serial replay by
+    /// the coordinator (`Exec::Parallel` only; always `None` at rest).
+    pub(crate) staged: Option<StagedTrap>,
+    /// The machine clock at the start of the slice currently executing
+    /// — scratch the shard gate reads to key a [`StagedTrap`].
+    pub(crate) slice_key: SimTime,
+    /// Pids that may have `SIGDUMP` artifact files in `/usr/tmp`,
+    /// maintained at dump create/unlink time so the reaper sweeps only
+    /// machines (and names) that can actually have work — a superset of
+    /// the truth, self-cleaning, derived entirely from `fs` contents.
+    pub(crate) pending_dumps: BTreeSet<u32>,
+    /// Single-entry root-walk cache for `namei` (host cost only).
+    pub(crate) namei_cache: Cell<Option<NameiCache>>,
     /// The inode of `/n`, where remote mounts attach.
     pub n_dir: Ino,
     /// The inode of `/dev`.
     pub dev_dir: Ino,
+    /// The inode of `/usr/tmp`, where migration dumps land.
+    pub dump_dir: Ino,
     next_pid: u32,
+}
+
+/// The name prefixes a `SIGDUMP` artifact can carry in `/usr/tmp`.
+pub(crate) const DUMP_ARTIFACT_PREFIXES: [&str; 4] = ["a.out", "files", "stack", "delta"];
+
+/// Parses `a.outXXXXX`/`filesXXXXX`/`stackXXXXX`/`deltaXXXXX` into the
+/// pid the artifact belongs to; anything else is `None`.
+pub(crate) fn dump_artifact_pid(name: &str) -> Option<u32> {
+    let suffix = DUMP_ARTIFACT_PREFIXES
+        .iter()
+        .find_map(|p| name.strip_prefix(p))?;
+    if suffix.len() == 5 && suffix.bytes().all(|b| b.is_ascii_digit()) {
+        suffix.parse().ok()
+    } else {
+        None
+    }
 }
 
 impl Machine {
@@ -204,7 +283,8 @@ impl Machine {
         let usr = fs
             .mkdir(root, "usr", FileMode::DIR_DEFAULT, &root_cred)
             .expect("mkdir /usr");
-        fs.mkdir(usr, "tmp", FileMode(0o777), &root_cred)
+        let dump_dir = fs
+            .mkdir(usr, "tmp", FileMode(0o777), &root_cred)
             .expect("mkdir /usr/tmp");
         fs.mkdir(root, "etc", FileMode::DIR_DEFAULT, &root_cred)
             .expect("mkdir /etc");
@@ -244,10 +324,73 @@ impl Machine {
             wait_pending: BTreeSet::new(),
             queue_waiters: BTreeMap::new(),
             ready_key: None,
+            staged: None,
+            slice_key: SimTime::BOOT,
+            pending_dumps: BTreeSet::new(),
+            namei_cache: Cell::new(None),
             n_dir,
             dev_dir,
+            dump_dir,
             next_pid: 2, // 1 is init.
         }
+    }
+
+    /// The reaper's pending-dump index: pids that may still have
+    /// `SIGDUMP` artifact files in `/usr/tmp` (a superset of the truth;
+    /// tests check it against a fresh directory scan).
+    pub fn pending_dump_pids(&self) -> Vec<u32> {
+        self.pending_dumps.iter().copied().collect()
+    }
+
+    /// Records a file landing in `/usr/tmp`: a dump-artifact name adds
+    /// its pid to the reaper's pending set.
+    pub(crate) fn note_dump_create(&mut self, parent: Ino, name: &str) {
+        if parent == self.dump_dir {
+            if let Some(pid) = dump_artifact_pid(name) {
+                self.pending_dumps.insert(pid);
+            }
+        }
+    }
+
+    /// Records a file leaving `/usr/tmp`: once no artifact of the pid's
+    /// triple remains, its pending entry goes too.
+    pub(crate) fn note_dump_unlink(&mut self, parent: Ino, name: &str) {
+        if parent != self.dump_dir {
+            return;
+        }
+        let Some(pid) = dump_artifact_pid(name) else {
+            return;
+        };
+        let any_left = DUMP_ARTIFACT_PREFIXES
+            .iter()
+            .any(|p| self.fs.lookup(self.dump_dir, &format!("{p}{pid:05}")).is_ok());
+        if !any_left {
+            self.pending_dumps.remove(&pid);
+        }
+    }
+
+    /// The clock the scheduler orders this machine by: a machine with a
+    /// frozen slice is keyed at that slice's start (the clock the serial
+    /// engine would have picked it at), everyone else at `now`.
+    pub(crate) fn sched_key(&self) -> SimTime {
+        self.staged.as_ref().map(|s| s.key).unwrap_or(self.now)
+    }
+
+    /// The cached root → `/n` resolution, if still valid for this
+    /// filesystem generation and these credentials.
+    pub(crate) fn namei_cache_get(&self, cred: &Credentials) -> Option<Ino> {
+        let c = self.namei_cache.get()?;
+        (c.gen == self.fs.generation() && c.cred == cred_key(cred)).then_some(c.ino)
+    }
+
+    /// Records the root → `/n` resolution for `cred` at the current
+    /// filesystem generation.
+    pub(crate) fn namei_cache_fill(&self, cred: &Credentials, ino: Ino) {
+        self.namei_cache.set(Some(NameiCache {
+            gen: self.fs.generation(),
+            cred: cred_key(cred),
+            ino,
+        }));
     }
 
     /// Allocates the next pid.

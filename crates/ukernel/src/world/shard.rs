@@ -1,0 +1,424 @@
+//! Conservative-lockstep parallel execution: the world partitioned into
+//! shards stepped by a pool of host threads.
+//!
+//! The engine alternates two phases per **window**:
+//!
+//! * **Phase A** — machines classified *uncoupled* (no native bodies, no
+//!   migration in flight, no open cross-machine files, …) are moved out
+//!   to per-thread shard worlds and stepped privately until each one's
+//!   scheduling key reaches `window_end`. The shard gate
+//!   ([`World::shard_gate`]) freezes any slice whose system call would
+//!   cross the machine boundary ([`seam::crossing`]) as a
+//!   [`crate::machine::StagedTrap`].
+//! * **Phase B** — everything moves back, queued [`CrossEffect`]s are
+//!   delivered in [`SeamKey`] order, and the unmodified serial engine
+//!   runs the *coupled* machines and the staged resumes, bounded by
+//!   `window_end`. Staged slices are scheduled by their frozen slice's
+//!   start clock ([`crate::machine::Machine::sched_key`]), reproducing
+//!   the serial engine's pick-by-slice-start order.
+//!
+//! `window_end = min(deadline, floor + lookahead)` where `floor` is the
+//! earliest next event across all machines and
+//! [`simnet::lookahead`] is the cheapest blocking cross-machine
+//! interaction (one zero-payload NFS round trip). `lookahead > 0`
+//! guarantees the machines at the floor always fit at least one slice
+//! per window, so the engine cannot stall.
+//!
+//! Windows are computed on the merged world, so their boundaries — and
+//! therefore every machine's private stopping points — are independent
+//! of the thread count: `Parallel{1}` and `Parallel{N}` are
+//! bit-identical by construction, which is the oracle
+//! `tests/parallel_determinism.rs` checks (and checks against
+//! `Exec::Serial`). See DESIGN.md §14 for the window math and the
+//! equivalence argument's limits.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crossbeam::channel;
+use simtime::SimTime;
+use sysdefs::{Pid, Signal};
+use tty::TtyHandle;
+use vfs::DeviceId;
+
+use crate::config::{Exec, KernelConfig, Sched};
+use crate::file::FileKind;
+use crate::machine::{Machine, MachineId};
+use crate::proc::{Body, ExitInfo, ProcState};
+
+use super::seam::{CrossEffect, SeamKey};
+use super::{RunOutcome, World};
+
+/// One window's work for one shard thread.
+struct WindowJob {
+    /// The machines of this shard, moved out of the main world.
+    machines: Vec<Machine>,
+    /// Private execution bound: a machine stops once its scheduling key
+    /// reaches this (the slice that starts before it may overshoot,
+    /// exactly like a serial atomic slice).
+    window_end: SimTime,
+}
+
+/// What a shard hands back after a window.
+struct WindowResult {
+    machines: Vec<Machine>,
+    /// Exits recorded on the shard (local processes may finish in
+    /// Phase A).
+    finished: BTreeMap<(MachineId, u32), ExitInfo>,
+    /// Machines with pending wake service.
+    wake_queue: BTreeSet<MachineId>,
+    /// Terminal-wait registrations made on the shard.
+    tty_waiters: BTreeMap<u32, BTreeSet<(MachineId, u32)>>,
+    /// Cross-boundary effects, to be delivered in key order.
+    seam: Vec<(SeamKey, CrossEffect)>,
+    /// Scheduling slices executed.
+    slices: u64,
+    /// Ethernet messages sent by the shard — must be zero: every
+    /// network interaction is gated into Phase B.
+    net_messages: u64,
+}
+
+/// Is `mid` coupled to some other machine this window? Coupled machines
+/// stay in the main world and execute in the serial phase. The test is
+/// deliberately one-sided conservative: anything that *could* interact
+/// across the boundary — or whose execution consults globally-ordered
+/// state like the fault plan — counts.
+fn self_coupled(world: &World, mid: MachineId) -> bool {
+    let m = &world.machines[mid];
+    if m.staged.is_some() {
+        return true;
+    }
+    let dump_mask = 1u32 << (Signal::SIGDUMP.number() - 1);
+    for p in m.procs.values() {
+        match &p.body {
+            // Native utilities (dumpproc, restart, daemons, rsh) talk
+            // to servers and the fault plan freely.
+            Body::Native(_) => return true,
+            Body::Vm(vm) => {
+                // Demand-restored images fetch residual pages from the
+                // source machine's dump on fault.
+                if vm.residual.is_some() || vm.mem.has_absent() {
+                    return true;
+                }
+            }
+            Body::Idle => {}
+        }
+        if matches!(
+            p.state,
+            ProcState::RemoteWait { .. } | ProcState::PageWait { .. }
+        ) {
+            return true;
+        }
+        // A pending SIGDUMP delivers at the next slice and writes dump
+        // files under fault-plan sites.
+        if p.sig_pending & dump_mask != 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// The full coupling partition: per-machine flags plus the two-sided
+/// couplings (an open remote file couples the client *and* the serving
+/// host; a foreign-owned terminal couples reader and owner; a machine
+/// serving a registered remote wait must stay serial so its completion
+/// wakes in order).
+///
+/// One flag is world-wide: a machine hosting a native utility (or a
+/// process in a remote/page wait, which implies one ran) can contact
+/// *any* machine by name with zero protocol latency — `rsh`/daemon
+/// dispatch syncs the server's clock to the client's
+/// (`s.now = s.now.max(client_now)`) the moment the request fires,
+/// inside the lookahead the window promised the target. The target is
+/// picked from a string argument at run time, so it cannot be read off
+/// the merged state at window start; while any such machine exists the
+/// whole world is coupled and the window runs on the serial engine.
+/// VM-only couplings (NFS files, terminals) name both endpoints and
+/// stay pairwise, so pure-VM phases — the scaling benchmark — shard
+/// fully.
+fn coupled_set(world: &World) -> BTreeSet<MachineId> {
+    let mut coupled = BTreeSet::new();
+    if (0..world.machines.len()).any(|mid| self_coupled(world, mid)) {
+        coupled.extend(0..world.machines.len());
+        return coupled;
+    }
+    for mid in 0..world.machines.len() {
+        let m = &world.machines[mid];
+        for (_, f) in m.files.iter() {
+            match &f.kind {
+                FileKind::Remote { host, .. } => {
+                    coupled.insert(mid);
+                    coupled.insert(*host);
+                }
+                FileKind::Device(DeviceId::Tty(t)) => match world.tty_owner(*t) {
+                    Some(owner) if owner == mid => {}
+                    Some(owner) => {
+                        coupled.insert(mid);
+                        coupled.insert(owner);
+                    }
+                    None => {
+                        coupled.insert(mid);
+                    }
+                },
+                _ => {}
+            }
+        }
+    }
+    for &(server, _) in world.remote_waiters.keys() {
+        coupled.insert(server);
+    }
+    coupled
+}
+
+/// The smallest scheduling key across all machines with work — exactly
+/// the key `next_ready` would pop in the serial engine. `None` when the
+/// world is idle. Call after a wake pass so freshly-wakeable work is
+/// already on the run queues.
+///
+/// The key is the machine's *clock* (or its staged slice's start), not
+/// its next event time: the serial engine steps a sleeping machine
+/// whose clock is below the deadline and lets the slice jump past it,
+/// so the window scheduler must use the same gate or 1-vs-N runs would
+/// disagree about the final slice at every deadline boundary.
+fn next_event_floor(world: &mut World) -> Option<SimTime> {
+    let mut floor: Option<SimTime> = None;
+    for mid in 0..world.machines.len() {
+        let m = &mut world.machines[mid];
+        let has_work =
+            m.staged.is_some() || !m.run_queue.is_empty() || m.next_deadline().is_some();
+        if has_work {
+            let t = m.sched_key();
+            floor = Some(floor.map_or(t, |f| f.min(t)));
+        }
+    }
+    floor
+}
+
+fn apply_effect(world: &mut World, eff: CrossEffect) {
+    match eff {
+        CrossEffect::Poke { mid, pid } => world.poke_proc(mid, Pid(pid)),
+        CrossEffect::TtyPoke { tty } => world.poke_tty(tty),
+        CrossEffect::RemoteDone { server, pid } => world.poke_remote_done(server, pid),
+    }
+}
+
+fn merge_result(
+    world: &mut World,
+    res: WindowResult,
+    effects: &mut BTreeMap<SeamKey, CrossEffect>,
+) {
+    debug_assert_eq!(
+        res.net_messages, 0,
+        "a shard put traffic on the Ethernet; the gate missed a network interaction"
+    );
+    for m in res.machines {
+        let mid = m.id;
+        world.machines.put(mid, m);
+        // Queue a service/re-key: the clock (and possibly staged state)
+        // changed while the machine was away.
+        world.wake_queue.insert(mid);
+    }
+    world.finished.extend(res.finished);
+    world.wake_queue.extend(res.wake_queue);
+    for (tty, set) in res.tty_waiters {
+        world.tty_waiters.entry(tty).or_default().extend(set);
+    }
+    world.slices += res.slices;
+    effects.extend(res.seam);
+}
+
+/// One shard thread: a persistent private world that machines move
+/// through window by window.
+fn worker(
+    config: KernelConfig,
+    terminals: Vec<TtyHandle>,
+    tty_owners: Vec<Option<MachineId>>,
+    slots: usize,
+    jobs: channel::Receiver<WindowJob>,
+    results: channel::Sender<WindowResult>,
+) {
+    let mut sw = World::new(config);
+    // The shard world is itself serial, gated, and fault-free: every
+    // fault site sits behind a gated interaction, so the global fault
+    // counters only advance in the coordinator's serial phase — in the
+    // same order as a fully serial run.
+    sw.config.exec = Exec::Serial;
+    sw.shard_gate = true;
+    sw.machines.ensure_slots(slots);
+    sw.terminals = terminals;
+    sw.tty_owners = tty_owners;
+    let mut resident: Vec<MachineId> = Vec::new();
+    while let Ok(job) = jobs.recv() {
+        resident.clear();
+        for m in job.machines {
+            let mid = m.id;
+            sw.machines.put(mid, m);
+            resident.push(mid);
+        }
+        for &mid in &resident {
+            loop {
+                let m = &sw.machines[mid];
+                // Stop at a frozen slice or once the next slice would
+                // start at/after the window end. The slice that starts
+                // before the end may overshoot it — the same atomic
+                // slice the serial engine runs.
+                if m.staged.is_some() || m.sched_key() >= job.window_end {
+                    break;
+                }
+                sw.slices += 1;
+                if !sw.step_machine(mid) {
+                    break;
+                }
+            }
+        }
+        let machines = resident.iter().map(|&mid| sw.machines.take(mid)).collect();
+        let res = WindowResult {
+            machines,
+            finished: std::mem::take(&mut sw.finished),
+            wake_queue: std::mem::take(&mut sw.wake_queue),
+            tty_waiters: std::mem::take(&mut sw.tty_waiters),
+            seam: sw.seam.drain(),
+            slices: std::mem::take(&mut sw.slices),
+            net_messages: std::mem::replace(&mut sw.ether.messages_sent, 0),
+        };
+        if results.send(res).is_err() {
+            return;
+        }
+    }
+}
+
+/// The windowed engine behind every `Exec::Parallel` run loop.
+///
+/// Stops at `deadline` (parking clocks there, like the serial
+/// `run_until_time`), when `until_exit`'s record appears in
+/// `finished` (checked once per window, so the run may overshoot the
+/// exit by at most one window), when the world goes idle, or when
+/// `max_slices` runs out.
+pub(crate) fn run_windows(
+    world: &mut World,
+    threads: usize,
+    deadline: Option<SimTime>,
+    until_exit: Option<(MachineId, u32)>,
+    max_slices: u64,
+) -> RunOutcome {
+    let threads = threads.max(1);
+    world.enter_run();
+    let lookahead = simnet::lookahead(&world.config.cost);
+    let mut slices_left = max_slices;
+    std::thread::scope(|s| {
+        let mut job_txs = Vec::with_capacity(threads);
+        let mut res_rxs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (jtx, jrx) = channel::unbounded::<WindowJob>();
+            let (rtx, rrx) = channel::unbounded::<WindowResult>();
+            let config = world.config.clone();
+            let terminals = world.terminals.clone();
+            let tty_owners = world.tty_owners.clone();
+            let slots = world.machines.len();
+            s.spawn(move || worker(config, terminals, tty_owners, slots, jrx, rtx));
+            job_txs.push(jtx);
+            res_rxs.push(rrx);
+        }
+        loop {
+            if let Some(k) = until_exit {
+                if world.finished.contains_key(&k) {
+                    return RunOutcome::Idle;
+                }
+            }
+            if slices_left == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            // Wake pass: get every wakeable process onto a run queue so
+            // the floor sees it.
+            match world.config.sched {
+                Sched::Event => world.drain_wake_queue(),
+                Sched::Scan => {
+                    for mid in 0..world.machines.len() {
+                        world.wake_scan(mid);
+                    }
+                }
+            }
+            let floor = next_event_floor(world);
+            let stop = match (floor, deadline) {
+                (None, _) => true,
+                (Some(f), Some(d)) => f >= d,
+                (Some(_), None) => false,
+            };
+            if stop {
+                if let Some(d) = deadline {
+                    for m in world.machines.iter_mut() {
+                        m.now = m.now.max(d);
+                    }
+                }
+                return RunOutcome::Idle;
+            }
+            let mut window_end = floor.expect("stop handled idle") + lookahead;
+            if let Some(d) = deadline {
+                window_end = window_end.min(d);
+            }
+            // Phase A: ship the uncoupled machines out.
+            let coupled = coupled_set(world);
+            let mut batches: Vec<Vec<Machine>> = (0..threads).map(|_| Vec::new()).collect();
+            for mid in 0..world.machines.len() {
+                if !coupled.contains(&mid) {
+                    batches[mid % threads].push(world.machines.take(mid));
+                }
+            }
+            let mut active = Vec::with_capacity(threads);
+            for (i, batch) in batches.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                job_txs[i]
+                    .send(WindowJob {
+                        machines: batch,
+                        window_end,
+                    })
+                    .expect("shard worker died");
+                active.push(i);
+            }
+            let mut effects: BTreeMap<SeamKey, CrossEffect> = BTreeMap::new();
+            for &i in &active {
+                let res = res_rxs[i].recv().expect("shard worker died");
+                slices_left = slices_left.saturating_sub(res.slices);
+                merge_result(world, res, &mut effects);
+            }
+            for (_, eff) in effects {
+                apply_effect(world, eff);
+            }
+            // Phase B: the unmodified serial engine finishes the window
+            // — coupled machines, staged resumes, and any wakes the
+            // merge produced.
+            loop {
+                if slices_left == 0 {
+                    break;
+                }
+                if let Some(k) = until_exit {
+                    if world.finished.contains_key(&k) {
+                        break;
+                    }
+                }
+                match world.pick_next(Some(window_end)) {
+                    Some(mid) => {
+                        world.slices += 1;
+                        slices_left -= 1;
+                        world.step_machine(mid);
+                    }
+                    None => break,
+                }
+            }
+        }
+    })
+}
+
+/// `run_until_exit` on the windowed engine.
+pub(crate) fn run_until_exit_windows(
+    world: &mut World,
+    threads: usize,
+    mid: MachineId,
+    pid: Pid,
+    max_slices: u64,
+) -> Option<ExitInfo> {
+    let key = (mid, pid.as_u32());
+    run_windows(world, threads, None, Some(key), max_slices);
+    world.finished.get(&key).cloned()
+}

@@ -95,6 +95,11 @@ pub enum WalkOutcome {
 pub struct Filesystem {
     inodes: Vec<Option<Inode>>,
     root: Ino,
+    /// Bumped on every mutation (all of which funnel through
+    /// [`Filesystem::inode_mut`] or [`Filesystem::alloc`]); lets
+    /// callers cache resolution results and invalidate them exactly
+    /// when the tree could have changed.
+    generation: u64,
 }
 
 impl Filesystem {
@@ -112,6 +117,7 @@ impl Filesystem {
         Filesystem {
             inodes: vec![Some(root)],
             root: 0,
+            generation: 0,
         }
     }
 
@@ -129,13 +135,21 @@ impl Filesystem {
     }
 
     fn inode_mut(&mut self, ino: Ino) -> SysResult<&mut Inode> {
+        self.generation += 1;
         self.inodes
             .get_mut(ino as usize)
             .and_then(|slot| slot.as_mut())
             .ok_or(Errno::ESTALE)
     }
 
+    /// The mutation counter: unchanged ⇒ every past resolution is
+    /// still valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     fn alloc(&mut self, kind: InodeKind, mode: FileMode, cred: &Credentials) -> Ino {
+        self.generation += 1;
         let ino = self.inodes.len() as Ino;
         self.inodes.push(Some(Inode {
             ino,

@@ -129,12 +129,13 @@ pub fn snapshot_world(w: &World) -> String {
         }
         writeln!(
             out,
-            "  exec_mig flag={} stack_len={} peak={} n_dir={} dev_dir={}",
+            "  exec_mig flag={} stack_len={} peak={} n_dir={} dev_dir={} dump_dir={}",
             m.exec_mig_flag,
             m.exec_mig_stack.len(),
             m.name_bytes_peak,
             m.n_dir,
-            m.dev_dir
+            m.dev_dir,
+            m.dump_dir
         )
         .unwrap();
         writeln!(

@@ -266,3 +266,119 @@ fn snapshot_sees_the_newly_folded_fields() {
 
     let _ = mid;
 }
+
+/// A fresh scan of `/usr/tmp` for dump artifacts, returning the pids
+/// they belong to — the ground truth `Machine::pending_dumps` must
+/// stay a superset of.
+fn scan_dump_pids(w: &World, mid: usize) -> Vec<u32> {
+    let m = w.machine(mid);
+    let names = m.fs.readdir(m.dump_dir).expect("dump dir readable");
+    let mut pids: Vec<u32> = names
+        .iter()
+        .filter_map(|n| {
+            let s = ["a.out", "files", "stack", "delta"]
+                .iter()
+                .find_map(|p| n.strip_prefix(p))?;
+            if s.len() == 5 && s.bytes().all(|b| b.is_ascii_digit()) {
+                s.parse().ok()
+            } else {
+                None
+            }
+        })
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    pids
+}
+
+/// The incremental `pending_dumps` index against the directory truth:
+/// a dump inserts the victim's pid, `host_reap_orphan_dumps` sweeps
+/// exactly the indexed names and clears the index, and a guest that
+/// creats/unlinks an artifact-shaped name through the ordinary
+/// syscall funnel maintains the same index.
+#[test]
+fn pending_dumps_index_matches_a_fresh_scan() {
+    let mut w = world(Sched::Event);
+    let mid = w.add_machine("host", IsaLevel::Isa1);
+    let obj = assemble(SLEEPER_PROGRAM).unwrap();
+    w.install_program(mid, "/bin/prog", &obj).unwrap();
+    let victim = w.spawn_vm_proc(mid, "/bin/prog", None, alice()).unwrap();
+    assert!(w.machine(mid).pending_dump_pids().is_empty());
+    assert!(scan_dump_pids(&w, mid).is_empty());
+
+    let dumper = w.spawn_native_proc(
+        mid,
+        "dumpproc",
+        None,
+        alice(),
+        Box::new(move |sys| match pmig::commands::dumpproc(sys, victim) {
+            Ok(()) => 0,
+            Err(e) => e.as_u16() as u32,
+        }),
+    );
+    let info = w
+        .run_until_exit(mid, dumper, 10_000_000)
+        .expect("dumpproc exits");
+    assert_eq!(info.status, 0, "dumpproc failed");
+    assert_eq!(scan_dump_pids(&w, mid), vec![victim.as_u32()]);
+    assert_eq!(w.machine(mid).pending_dump_pids(), vec![victim.as_u32()]);
+
+    let reaped = w.host_reap_orphan_dumps(mid);
+    assert_eq!(
+        reaped,
+        vec![
+            format!("a.out{:05}", victim.as_u32()),
+            format!("files{:05}", victim.as_u32()),
+            format!("stack{:05}", victim.as_u32()),
+        ]
+    );
+    assert!(scan_dump_pids(&w, mid).is_empty());
+    assert!(w.machine(mid).pending_dump_pids().is_empty());
+    assert!(w.host_reap_orphan_dumps(mid).is_empty());
+}
+
+/// creat(2)/unlink(2) on artifact-shaped names in `/usr/tmp` flow
+/// through the same cross-call funnel as every other filesystem
+/// mutation, so they maintain the index too.
+#[test]
+fn guest_creat_and_unlink_maintain_the_pending_index() {
+    const CREAT_PROGRAM: &str = r#"
+start:  move.l  #8, d0
+        move.l  #fname, d1
+        move.l  #384, d2
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+        .data
+fname:  .asciz  "/usr/tmp/stack00042"
+"#;
+    const UNLINK_PROGRAM: &str = r#"
+start:  move.l  #10, d0
+        move.l  #fname, d1
+        trap    #0
+        move.l  #1, d0
+        move.l  #0, d1
+        trap    #0
+        .data
+fname:  .asciz  "/usr/tmp/stack00042"
+"#;
+    let mut w = world(Sched::Event);
+    let mid = w.add_machine("host", IsaLevel::Isa1);
+    let c = assemble(CREAT_PROGRAM).unwrap();
+    w.install_program(mid, "/bin/c", &c).unwrap();
+    let u = assemble(UNLINK_PROGRAM).unwrap();
+    w.install_program(mid, "/bin/u", &u).unwrap();
+
+    let p = w.spawn_vm_proc(mid, "/bin/c", None, alice()).unwrap();
+    let info = w.run_until_exit(mid, p, 1_000_000).expect("creat exits");
+    assert_eq!(info.status, 0);
+    assert_eq!(w.machine(mid).pending_dump_pids(), vec![42]);
+    assert_eq!(scan_dump_pids(&w, mid), vec![42]);
+
+    let p = w.spawn_vm_proc(mid, "/bin/u", None, alice()).unwrap();
+    let info = w.run_until_exit(mid, p, 1_000_000).expect("unlink exits");
+    assert_eq!(info.status, 0);
+    assert!(w.machine(mid).pending_dump_pids().is_empty());
+    assert!(scan_dump_pids(&w, mid).is_empty());
+}
