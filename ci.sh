@@ -76,4 +76,24 @@ cp BENCH_migration.json "$mig_stale"
 cargo run --release -p bench --bin figures -- migration-smoke
 diff "$mig_stale" BENCH_migration.json
 rm -f "$mig_stale"
+# Interpreter-engine throughput: regenerates BENCH_interp.json and
+# gates the superblock engine at >= 2.5x over the uncached decoder
+# (asserted inside `figures interp`; the superblock-vs-cached ratio is
+# recorded but not gated — it collapses on 1-core CI boxes). The
+# numbers are host-dependent so a bit-diff would always fail; instead
+# the committed file must exist beforehand (the trajectory is the
+# point) and its key schema must match the fresh render — a key diff
+# means the committed record predates a schema change and is stale.
+test -f BENCH_interp.json || {
+    echo "BENCH_interp.json missing — run 'figures interp' and commit the record" >&2
+    exit 1
+}
+interp_stale=$(mktemp)
+grep -o '"[a-z_]*":' BENCH_interp.json | sort > "$interp_stale"
+cargo run --release -p bench --bin figures -- interp
+grep -o '"[a-z_]*":' BENCH_interp.json | sort | diff "$interp_stale" - || {
+    echo "BENCH_interp.json schema drifted — commit the freshly generated record" >&2
+    exit 1
+}
+rm -f "$interp_stale"
 cargo bench -p bench --bench simulator -- --test

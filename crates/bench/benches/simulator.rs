@@ -2,59 +2,32 @@
 //! throughput, the assembler, dump-format codecs, a.out parsing and
 //! cross-machine path resolution.
 
+use bench::interp::{self, Engine};
 use criterion::{criterion_group, Criterion, Throughput};
-use m68vm::{assemble, Cpu, ICache, IsaLevel, StepEvent};
+use m68vm::{assemble, ICache, IsaLevel};
 use std::hint::black_box;
-
-/// A tight ~500k-instruction arithmetic loop (100000 iterations of five
-/// instructions plus prologue/trap).
-fn interp_loop() -> m68vm::Object {
-    assemble(
-        r"
-        start:  move.l  #100000, d6
-        loop:   add.l   #1, d5
-                eor.l   d5, d4
-                lsr.l   #1, d4
-                sub.l   #1, d6
-                bgt     loop
-                trap    #0
-        ",
-    )
-    .unwrap()
-}
 
 fn bench_vm_interpreter(c: &mut Criterion) {
     // How many instructions per second does the interpreter manage on
     // the host? The headline number uses the production configuration
-    // (predecoded icache); the cached/uncached pair below isolates what
-    // the cache buys over the per-step byte-window decoder.
-    let obj = interp_loop();
+    // (icache + superblocks); the engine trio below isolates what each
+    // layer buys over the per-step byte-window decoder. The measurement
+    // loops live in `bench::interp`, shared with `figures interp`.
+    let obj = interp::interp_loop();
     let icache = ICache::build(&obj.text, IsaLevel::Isa1);
     let mut g = c.benchmark_group("vm");
-    g.throughput(Throughput::Elements(500_000));
+    g.throughput(Throughput::Elements(interp::INSTRUCTIONS_PER_RUN));
     g.bench_function("interpret_500k_instructions", |b| {
-        b.iter(|| {
-            let mut mem = obj.to_memory();
-            let mut cpu = Cpu::at_entry(obj.entry);
-            while let StepEvent::Executed { .. } = cpu.step_cached(&mut mem, &icache) {}
-            black_box(cpu.d[4])
-        })
+        b.iter(|| black_box(interp::run_once(&obj, Engine::Superblock(&icache))))
+    });
+    g.bench_function("vm_superblock", |b| {
+        b.iter(|| black_box(interp::run_once(&obj, Engine::Superblock(&icache))))
     });
     g.bench_function("vm_cached", |b| {
-        b.iter(|| {
-            let mut mem = obj.to_memory();
-            let mut cpu = Cpu::at_entry(obj.entry);
-            while let StepEvent::Executed { .. } = cpu.step_cached(&mut mem, &icache) {}
-            black_box(cpu.d[4])
-        })
+        b.iter(|| black_box(interp::run_once(&obj, Engine::Cached(&icache))))
     });
     g.bench_function("vm_uncached", |b| {
-        b.iter(|| {
-            let mut mem = obj.to_memory();
-            let mut cpu = Cpu::at_entry(obj.entry);
-            while let StepEvent::Executed { .. } = cpu.step(&mut mem, IsaLevel::Isa1) {}
-            black_box(cpu.d[4])
-        })
+        b.iter(|| black_box(interp::run_once(&obj, Engine::Uncached)))
     });
     g.finish();
 }
@@ -194,69 +167,18 @@ criterion_group!(
     bench_full_migration,
 );
 
-/// Times one full run of the ~500k-instruction loop, returning
-/// `(instructions, seconds)`.
-fn time_loop(obj: &m68vm::Object, icache: Option<&ICache>) -> (u64, f64) {
-    // Host time comes only from the quarantined hostclock module; a
-    // bare Instant::now() here would (rightly) fail simlint.
-    let start = bench::hostclock::HostStopwatch::start();
-    let mut mem = obj.to_memory();
-    let mut cpu = Cpu::at_entry(obj.entry);
-    let mut executed: u64 = 1; // The final trap also decodes.
-    loop {
-        let ev = match icache {
-            Some(ic) => cpu.step_cached(&mut mem, ic),
-            None => cpu.step(&mut mem, IsaLevel::Isa1),
-        };
-        match ev {
-            StepEvent::Executed { .. } => executed += 1,
-            _ => break,
-        }
-    }
-    black_box(cpu.d[4]);
-    (executed, start.elapsed_secs())
-}
-
-/// Best observed instructions/second over repeated runs spanning at
-/// least ~300 ms of measurement.
-fn insn_per_sec(obj: &m68vm::Object, icache: Option<&ICache>) -> f64 {
-    let mut best = 0f64;
-    let mut total = 0f64;
-    let _ = time_loop(obj, icache); // Warm-up.
-    while total < 0.3 {
-        let (n, secs) = time_loop(obj, icache);
-        total += secs;
-        best = best.max(n as f64 / secs);
-    }
-    best
-}
-
-/// `--json` mode: measure cached vs uncached interpreter throughput and
-/// record it in `BENCH_interp.json`.
-fn write_interp_json() {
-    use bench::json::Json;
-    let obj = interp_loop();
-    let icache = ICache::build(&obj.text, IsaLevel::Isa1);
-    let cached = insn_per_sec(&obj, Some(&icache));
-    let uncached = insn_per_sec(&obj, None);
-    let report = Json::Obj(vec![
-        ("bench".into(), Json::Str("vm_interpreter".into())),
-        ("instructions_per_run".into(), Json::UInt(500_002)),
-        ("cached_insn_per_sec".into(), Json::Num(cached)),
-        ("uncached_insn_per_sec".into(), Json::Num(uncached)),
-        ("speedup".into(), Json::Num(cached / uncached)),
-    ]);
-    let text = bench::json::to_string_pretty(&report);
-    // Always land at the workspace root, independent of the cwd cargo
-    // gives the bench binary.
-    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
-    std::fs::write(&dest, &text).expect("write BENCH_interp.json");
-    println!("{text}");
-}
-
 fn main() {
     if std::env::args().any(|a| a == "--json") {
-        write_interp_json();
+        // Kept as an alias: `figures interp --json` is the canonical
+        // writer of BENCH_interp.json (and what ci.sh runs).
+        let report = interp::InterpReport::measure();
+        let text = bench::json::to_string_pretty(&report.to_json());
+        // Always land at the workspace root, independent of the cwd
+        // cargo gives the bench binary.
+        let dest =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
+        std::fs::write(&dest, &text).expect("write BENCH_interp.json");
+        println!("{text}");
         return;
     }
     simulator();

@@ -13,6 +13,7 @@
 //! figures parallel        # smoke tier + the sharded-execution speedup gate
 //! figures migration       # live-migration protocols, full tier
 //! figures migration-smoke # same, CI-sized (writes BENCH_migration.json)
+//! figures interp          # interpreter engines (writes BENCH_interp.json)
 //! figures --json          # machine-readable output (EXPERIMENTS.md)
 //! ```
 
@@ -293,6 +294,43 @@ fn run_migration(json: bool, smoke: bool) {
     }
 }
 
+fn run_interp(json: bool) {
+    let report = bench::interp::InterpReport::measure();
+    // The gate compares the fused engine against the *uncached* decoder
+    // — the superblock-vs-slot-cached ratio is recorded but not gated,
+    // since it collapses on 1-core CI boxes where the measurement loop
+    // contends with the rest of the suite.
+    assert!(
+        report.superblock_speedup() >= 2.5,
+        "superblock engine managed only {:.2}x over the uncached decoder (gate: 2.5x)",
+        report.superblock_speedup()
+    );
+    let text = to_string_pretty(&report.to_json());
+    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
+    std::fs::write(&dest, &text).expect("write BENCH_interp.json");
+    if json {
+        println!("{text}");
+        return;
+    }
+    hr("Interpreter throughput: host insn/sec per engine (BENCH_interp.json)");
+    println!(
+        "{:<12} {:>16} {:>10}",
+        "engine", "insn/sec", "vs uncached"
+    );
+    for (name, v) in [
+        ("uncached", report.uncached_insn_per_sec),
+        ("cached", report.cached_insn_per_sec),
+        ("superblock", report.superblock_insn_per_sec),
+    ] {
+        println!(
+            "{:<12} {:>16.0} {:>9.2}x",
+            name,
+            v,
+            v / report.uncached_insn_per_sec
+        );
+    }
+}
+
 fn run_ablations(json: bool) {
     let daemon = scenarios::ablation_daemon();
     let virt = scenarios::ablation_virt();
@@ -395,6 +433,9 @@ fn main() {
         run_migration(json, false);
     } else if all || picks.contains(&"migration-smoke") {
         run_migration(json, true);
+    }
+    if all || picks.contains(&"interp") {
+        run_interp(json);
     }
     if all || picks.iter().any(|p| p.starts_with("ablation")) {
         run_ablations(json);

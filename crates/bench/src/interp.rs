@@ -1,0 +1,134 @@
+//! Interpreter-throughput measurement, shared by `figures interp`
+//! (which records `BENCH_interp.json`) and the `vm` criterion group.
+//!
+//! Three engines over the same ~500k-instruction arithmetic loop:
+//! the per-step byte-window decoder, the predecoded icache, and the
+//! superblock engine that retires whole fused blocks. All three are
+//! host-side accelerators — the coherence suite proves they share one
+//! guest-visible trajectory — so the only thing measured here is host
+//! instructions per second.
+
+use crate::hostclock::HostStopwatch;
+use crate::json::Json;
+use m68vm::{assemble, Cpu, ICache, IsaLevel, SbExit, StepEvent};
+use std::hint::black_box;
+
+/// The loop retires 100_000 iterations of five instructions plus the
+/// prologue move and the final trap.
+pub const INSTRUCTIONS_PER_RUN: u64 = 500_002;
+
+/// A tight arithmetic loop whose body fuses into one superblock.
+pub fn interp_loop() -> m68vm::Object {
+    assemble(
+        r"
+        start:  move.l  #100000, d6
+        loop:   add.l   #1, d5
+                eor.l   d5, d4
+                lsr.l   #1, d4
+                sub.l   #1, d6
+                bgt     loop
+                trap    #0
+        ",
+    )
+    .unwrap()
+}
+
+/// Which interpreter path a measurement exercises.
+#[derive(Clone, Copy)]
+pub enum Engine<'a> {
+    /// `Cpu::step`: live byte-window decode every instruction.
+    Uncached,
+    /// `Cpu::step_cached`: predecoded slot per instruction.
+    Cached(&'a ICache),
+    /// `Cpu::step_superblock`: fused straight-line blocks over the
+    /// same slots, slot-stepping only at block boundaries.
+    Superblock(&'a ICache),
+}
+
+/// Times one full run of the loop, returning `(instructions, seconds)`.
+pub fn run_once(obj: &m68vm::Object, engine: Engine<'_>) -> (u64, f64) {
+    // Host time comes only from the quarantined hostclock module; a
+    // bare Instant::now() here would (rightly) fail simlint.
+    let start = HostStopwatch::start();
+    let mut mem = obj.to_memory();
+    let mut cpu = Cpu::at_entry(obj.entry);
+    match engine {
+        Engine::Superblock(ic) => {
+            // An unbounded budget never pauses, so the engine returns
+            // only at the final trap.
+            let (_used, exit) = cpu.step_superblock(&mut mem, ic, u64::MAX);
+            assert!(matches!(exit, SbExit::Trap { vector: 0 }), "loop ends in trap #0");
+        }
+        Engine::Cached(ic) => {
+            while let StepEvent::Executed { .. } = cpu.step_cached(&mut mem, ic) {}
+        }
+        Engine::Uncached => {
+            while let StepEvent::Executed { .. } = cpu.step(&mut mem, IsaLevel::Isa1) {}
+        }
+    }
+    black_box(cpu.d[4]);
+    (INSTRUCTIONS_PER_RUN, start.elapsed_secs())
+}
+
+/// Best observed instructions/second over repeated runs spanning at
+/// least ~300 ms of measurement.
+pub fn insn_per_sec(obj: &m68vm::Object, engine: Engine<'_>) -> f64 {
+    let mut best = 0f64;
+    let mut total = 0f64;
+    let _ = run_once(obj, engine); // Warm-up (and superblock translation).
+    while total < 0.3 {
+        let (n, secs) = run_once(obj, engine);
+        total += secs;
+        best = best.max(n as f64 / secs);
+    }
+    best
+}
+
+/// The three throughputs of one measurement session.
+pub struct InterpReport {
+    pub uncached_insn_per_sec: f64,
+    pub cached_insn_per_sec: f64,
+    pub superblock_insn_per_sec: f64,
+}
+
+impl InterpReport {
+    /// Measures all three engines on this host.
+    pub fn measure() -> InterpReport {
+        let obj = interp_loop();
+        let icache = ICache::build(&obj.text, IsaLevel::Isa1);
+        InterpReport {
+            uncached_insn_per_sec: insn_per_sec(&obj, Engine::Uncached),
+            cached_insn_per_sec: insn_per_sec(&obj, Engine::Cached(&icache)),
+            superblock_insn_per_sec: insn_per_sec(&obj, Engine::Superblock(&icache)),
+        }
+    }
+
+    /// Superblock speedup over the uncached decoder (the CI gate).
+    pub fn superblock_speedup(&self) -> f64 {
+        self.superblock_insn_per_sec / self.uncached_insn_per_sec
+    }
+
+    /// The `BENCH_interp.json` record. Key set is the schema ci.sh's
+    /// freshness check pins (the numbers are host-dependent).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench".into(), Json::Str("vm_interpreter".into())),
+            ("instructions_per_run".into(), Json::UInt(INSTRUCTIONS_PER_RUN)),
+            ("uncached_insn_per_sec".into(), Json::Num(self.uncached_insn_per_sec)),
+            ("cached_insn_per_sec".into(), Json::Num(self.cached_insn_per_sec)),
+            (
+                "superblock_insn_per_sec".into(),
+                Json::Num(self.superblock_insn_per_sec),
+            ),
+            (
+                "speedup".into(),
+                Json::Num(self.cached_insn_per_sec / self.uncached_insn_per_sec),
+            ),
+            ("superblock_speedup".into(), Json::Num(self.superblock_speedup())),
+            (
+                "superblock_vs_cached".into(),
+                Json::Num(self.superblock_insn_per_sec / self.cached_insn_per_sec),
+            ),
+        ])
+    }
+}

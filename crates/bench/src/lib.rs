@@ -8,6 +8,7 @@
 //! benches re-run them under the host-time profiler.
 
 pub mod hostclock;
+pub mod interp;
 pub mod json;
 pub mod scenarios;
 

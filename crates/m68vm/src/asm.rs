@@ -27,8 +27,10 @@
 //!   `disp(aN)`, and bare symbols/numbers as absolute addresses.
 //!   Immediates and displacements accept decimal, `0x` hex, `0o` octal,
 //!   character literals `'c'`, and `symbol+n` / `symbol-n` expressions.
-//! * Directives: `.text`, `.data`, `.bss`, `.global`, `.byte`, `.word`,
-//!   `.long`, `.ascii`, `.asciz`, `.space`, `.align`, `.equ`.
+//! * Directives: `.text`, `.data`, `.bss`, `.section <name>`, `.global`,
+//!   `.byte`, `.word`, `.long`, `.ascii`, `.asciz`, `.space`, `.align`,
+//!   `.equ`. Unknown sections and directives are reported as errors with
+//!   the offending line, never a panic.
 //!
 //! Pass one sizes every item (instruction lengths depend only on operand
 //! *forms*); pass two resolves symbols and encodes.
@@ -101,7 +103,11 @@ enum Item {
         src: SymOperand,
         dst: SymOperand,
     },
-    Bytes(Vec<u8>),
+    Bytes {
+        /// Source line, for section-placement diagnostics.
+        line: usize,
+        bytes: Vec<u8>,
+    },
     Space(u32),
 }
 
@@ -118,7 +124,7 @@ impl Item {
                 }
                 n
             }
-            Item::Bytes(b) => b.len() as u32,
+            Item::Bytes { bytes, .. } => bytes.len() as u32,
             Item::Space(n) => *n,
         }
     }
@@ -126,10 +132,11 @@ impl Item {
 
 /// Assembles a source file into an [`Object`].
 pub fn assemble(source: &str) -> Result<Object, AsmError> {
-    let mut sections: BTreeMap<&'static str, Vec<Item>> = BTreeMap::new();
-    sections.insert("text", Vec::new());
-    sections.insert("data", Vec::new());
-    sections.insert("bss", Vec::new());
+    // Items per section, indexed by `sec_idx` — infallible by
+    // construction (a string-keyed map here once left `assemble` one
+    // misspelled key away from a `get_mut(...).unwrap()` panic; an
+    // unknown section name must surface as an `AsmError` instead).
+    let mut sections: [Vec<Item>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     // Symbol name -> (section, offset) or absolute value (.equ).
     let mut sym_loc: BTreeMap<String, (Section, u32)> = BTreeMap::new();
     let mut sym_abs: BTreeMap<String, i64> = BTreeMap::new();
@@ -143,11 +150,12 @@ pub fn assemble(source: &str) -> Result<Object, AsmError> {
             Section::Bss => 2,
         }
     }
-    fn sec_key(s: Section) -> &'static str {
-        match s {
-            Section::Text => "text",
-            Section::Data => "data",
-            Section::Bss => "bss",
+    fn sec_by_name(name: &str) -> Option<Section> {
+        match name.trim_start_matches('.') {
+            "text" => Some(Section::Text),
+            "data" => Some(Section::Data),
+            "bss" => Some(Section::Bss),
+            _ => None,
         }
     }
 
@@ -177,6 +185,18 @@ pub fn assemble(source: &str) -> Result<Object, AsmError> {
                 "text" => section = Section::Text,
                 "data" => section = Section::Data,
                 "bss" => section = Section::Bss,
+                "section" => {
+                    let name = args.trim();
+                    if name.is_empty() {
+                        return err(line, ".section needs a name");
+                    }
+                    section = sec_by_name(name).ok_or_else(|| AsmError {
+                        line,
+                        message: format!(
+                            "unknown section `{name}` (this assembler has .text, .data and .bss)"
+                        ),
+                    })?;
+                }
                 "global" | "globl" => {} // Accepted; all symbols are visible.
                 "equ" => {
                     let parts: Vec<&str> = args.splitn(2, ',').collect();
@@ -206,7 +226,7 @@ pub fn assemble(source: &str) -> Result<Object, AsmError> {
                         item
                     };
                     offsets[idx] += item.len();
-                    sections.get_mut(sec_key(section)).unwrap().push(item);
+                    sections[idx].push(item);
                 }
                 other => return err(line, format!("unknown directive `.{other}`")),
             }
@@ -218,7 +238,7 @@ pub fn assemble(source: &str) -> Result<Object, AsmError> {
         }
         let item = parse_instruction(&text, line)?;
         offsets[0] += item.len();
-        sections.get_mut("text").unwrap().push(item);
+        sections[sec_idx(Section::Text)].push(item);
     }
 
     // ---------- Address plan ----------
@@ -252,7 +272,7 @@ pub fn assemble(source: &str) -> Result<Object, AsmError> {
     // ---------- Pass two: encode ----------
     let mut required_isa = IsaLevel::Isa1;
     let mut text = Vec::with_capacity(text_len as usize);
-    for item in &sections["text"] {
+    for item in &sections[sec_idx(Section::Text)] {
         match item {
             Item::Instr {
                 line,
@@ -269,25 +289,27 @@ pub fn assemble(source: &str) -> Result<Object, AsmError> {
                 let instr = Instr::new(*op, *size, src, dst);
                 encode(&instr, &mut text);
             }
-            Item::Bytes(b) => text.extend_from_slice(b),
+            Item::Bytes { bytes, .. } => text.extend_from_slice(bytes),
             Item::Space(n) => text.extend(std::iter::repeat_n(0u8, *n as usize)),
         }
     }
     let mut data = Vec::with_capacity(offsets[1] as usize);
-    for item in &sections["data"] {
+    for item in &sections[sec_idx(Section::Data)] {
         match item {
-            Item::Bytes(b) => data.extend_from_slice(b),
+            Item::Bytes { bytes, .. } => data.extend_from_slice(bytes),
             Item::Space(n) => data.extend(std::iter::repeat_n(0u8, *n as usize)),
             Item::Instr { line, .. } => return err(*line, "instruction in .data"),
         }
     }
     let mut bss_len = 0u32;
-    for item in &sections["bss"] {
+    for item in &sections[sec_idx(Section::Bss)] {
         match item {
             Item::Space(n) => bss_len += n,
-            Item::Bytes(b) if b.iter().all(|&x| x == 0) => bss_len += b.len() as u32,
-            Item::Bytes(_) => {
-                return err(0, "non-zero data in .bss");
+            Item::Bytes { bytes, .. } if bytes.iter().all(|&x| x == 0) => {
+                bss_len += bytes.len() as u32
+            }
+            Item::Bytes { line, .. } => {
+                return err(*line, "non-zero data in .bss");
             }
             Item::Instr { line, .. } => return err(*line, "instruction in .bss"),
         }
@@ -476,7 +498,7 @@ fn parse_data_directive(
             if section == Section::Bss && bytes.iter().any(|&b| b != 0) {
                 return err(line, "non-zero initialiser in .bss");
             }
-            Ok(Item::Bytes(bytes))
+            Ok(Item::Bytes { line, bytes })
         }
         "ascii" | "asciz" => {
             let args = args.trim();
@@ -491,7 +513,7 @@ fn parse_data_directive(
             if dir == "asciz" {
                 bytes.push(0);
             }
-            Ok(Item::Bytes(bytes))
+            Ok(Item::Bytes { line, bytes })
         }
         "space" | "align" => {
             let n = parse_int(args).ok_or_else(|| AsmError {
@@ -897,6 +919,46 @@ mod tests {
     fn duplicate_labels_rejected() {
         let e = assemble("x: nop\nx: nop\n").unwrap_err();
         assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_section_errors_instead_of_panicking() {
+        // Regression: an unknown section name (or a stray opening
+        // `.section`) must come back as an AsmError with the offending
+        // line, never a panic out of `assemble`.
+        let e = assemble("start: nop\n .section mystery\n nop\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("mystery"), "names the section: {e}");
+
+        let e = assemble(".section\nstart: nop\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("needs a name"), "got: {e}");
+
+        let e = assemble(".rodata\nstart: nop\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown directive"), "got: {e}");
+    }
+
+    #[test]
+    fn section_directive_is_equivalent_to_the_short_forms() {
+        let via_section = assemble(
+            ".section .text\nstart: move.l x, d0\n trap #0\n.section data\nx: .long 7\n",
+        )
+        .unwrap();
+        let via_short = assemble(".text\nstart: move.l x, d0\n trap #0\n.data\nx: .long 7\n")
+            .unwrap();
+        assert_eq!(via_section.text, via_short.text);
+        assert_eq!(via_section.data, via_short.data);
+    }
+
+    #[test]
+    fn nonzero_bss_data_reports_the_offending_line() {
+        // `.asciz` in .bss slips past the directive-time zero check
+        // (the terminator is zero but the payload is not) and used to
+        // be reported with no line context.
+        let e = assemble("start: nop\n trap #0\n .bss\nmsg: .asciz \"hi\"\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains(".bss"), "got: {e}");
     }
 
     #[test]

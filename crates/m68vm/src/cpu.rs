@@ -162,9 +162,11 @@ impl Cpu {
     /// Sets all four condition codes in one status-register store: C and
     /// V as given, N and Z from `value` at `size`. Equivalent to
     /// `set_nz` + two `set_flag` calls, but the interpreter's hot arms
-    /// pay one read-modify-write instead of four.
+    /// pay one read-modify-write instead of four. Shared with the
+    /// superblock executor, whose fused arms must store flags
+    /// bit-identically to these.
     #[inline(always)]
-    fn set_ccr(&mut self, c: bool, v: bool, value: u32, size: Size) {
+    pub(crate) fn set_ccr(&mut self, c: bool, v: bool, value: u32, size: Size) {
         let (mask, msb) = size_mask(size);
         let masked = value & mask;
         let bits = (c as u16 * ccr::C)
@@ -291,7 +293,7 @@ impl Cpu {
         Ok(v)
     }
 
-    fn branch_taken(&self, op: Op) -> bool {
+    pub(crate) fn branch_taken(&self, op: Op) -> bool {
         let n = self.flag(ccr::N);
         let z = self.flag(ccr::Z);
         let v = self.flag(ccr::V);
@@ -393,8 +395,12 @@ impl Cpu {
         }
     }
 
+    /// The single execution engine behind `step`, `step_cached` and the
+    /// superblock generic path: `self.pc` must point at the instruction
+    /// (faults report it; `jsr` pushes `next_pc`), and the caller
+    /// advances `pc` from the returned [`Flow`].
     #[inline]
-    fn execute(&mut self, mem: &mut Memory, i: &Instr, next_pc: u32) -> Result<Flow, Fault> {
+    pub(crate) fn execute(&mut self, mem: &mut Memory, i: &Instr, next_pc: u32) -> Result<Flow, Fault> {
         let size = i.size;
         let src_ea = self.effective_addr(i.src, size);
         let dst_ea = self.effective_addr(i.dst, size);
@@ -599,7 +605,8 @@ impl Cpu {
     }
 }
 
-enum Flow {
+/// Control-flow outcome of [`Cpu::execute`].
+pub(crate) enum Flow {
     Next,
     Jump(u32),
     Trap(u8),

@@ -24,6 +24,7 @@
 use crate::encode::{decode, CodecError};
 use crate::isa::{Instr, IsaLevel, Op};
 use crate::mem::MemoryLayout;
+use crate::superblock::{SbCache, SbEntry, SuperBlock};
 
 /// Maximum encoded instruction length (base word + two extensions).
 const MAX_ILEN: usize = 12;
@@ -52,11 +53,44 @@ pub enum Slot {
 }
 
 /// A predecoded text segment for one ISA level.
-#[derive(Clone, Debug)]
+///
+/// Also owns the lazily translated superblock cache
+/// ([`crate::superblock`]): blocks are derived purely from the slots,
+/// so sharing them through the same `Arc` and rebuilding them whenever
+/// the icache is rebuilt keeps the two coherent by construction.
 pub struct ICache {
     level: IsaLevel,
     text_len: u32,
     slots: Vec<Slot>,
+    /// Superblock translations, built on first execution of each
+    /// block-head slot. Pure cache: never cloned, never compared,
+    /// never dumped.
+    sb: SbCache,
+}
+
+impl Clone for ICache {
+    /// Clones the predecoded slots with a *cold* superblock cache —
+    /// translation state is pure cache, so a clone re-translating
+    /// lazily is indistinguishable from one that inherited the blocks.
+    fn clone(&self) -> ICache {
+        ICache {
+            level: self.level,
+            text_len: self.text_len,
+            slots: self.slots.clone(),
+            sb: SbCache::new(self.slots.len()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ICache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ICache")
+            .field("level", &self.level)
+            .field("text_len", &self.text_len)
+            .field("slots", &self.slots.len())
+            .field("translated_blocks", &self.sb.translated())
+            .finish()
+    }
 }
 
 impl ICache {
@@ -82,10 +116,12 @@ impl ICache {
             };
             slots.push(slot);
         }
+        let sb = SbCache::new(slots.len());
         ICache {
             level,
             text_len: text.len() as u32,
             slots,
+            sb,
         }
     }
 
@@ -110,6 +146,26 @@ impl ICache {
             return None;
         }
         Some(&self.slots[(off >> 2) as usize])
+    }
+
+    /// The superblock starting at `pc`, translating it on first use.
+    /// `None` outside text or where the slot path serves better
+    /// (fault slots, malformed control transfers).
+    #[inline]
+    pub fn superblock(&self, pc: u32) -> Option<&SuperBlock> {
+        let off = pc.wrapping_sub(MemoryLayout::TEXT_BASE);
+        if off & 3 != 0 || off >= self.text_len {
+            return None;
+        }
+        match self.sb.entry((off >> 2) as usize, self, pc) {
+            SbEntry::Block(b) => Some(b),
+            SbEntry::Bypass => None,
+        }
+    }
+
+    /// How many slots currently hold a translation (lazy-build tests).
+    pub fn translated_blocks(&self) -> usize {
+        self.sb.translated()
     }
 }
 

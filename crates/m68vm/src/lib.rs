@@ -31,10 +31,12 @@ pub mod icache;
 pub mod isa;
 pub mod mem;
 pub mod object;
+pub mod superblock;
 
 pub use asm::{assemble, AsmError};
 pub use cpu::{Cpu, Fault, StepEvent};
 pub use icache::ICache;
+pub use superblock::SbExit;
 pub use disasm::disassemble_one;
 pub use isa::{Instr, IsaLevel, Op, Operand, Size};
 pub use mem::{Memory, MemoryLayout};

@@ -1,0 +1,987 @@
+//! Superblock translation: fused straight-line runs of icache slots.
+//!
+//! The predecoded icache (PR 1) removed the per-step decode; this tier
+//! removes the per-step *dispatch*. A superblock is a straight-line run
+//! of predecoded slots — starting at any pc the interpreter actually
+//! reaches (branch targets, quantum entry points), ending at the first
+//! branch, trap, subroutine call/return, undecodable slot or text-
+//! segment boundary — translated once into a vector of micro-ops and
+//! executed as a unit:
+//!
+//! * **direct-threaded dispatch** — each micro-op is a compact enum
+//!   variant whose match arm compiles to one jump-table hop, instead of
+//!   the slot lookup + full `Instr` operand analysis per step;
+//! * **inlined operand fetch** — register/immediate `Size::Long` forms
+//!   index the register file directly; everything else falls back to
+//!   the ordinary `execute` path as a [`SbOp::Generic`] micro-op;
+//! * **fused condition codes** — a backward liveness scan marks each
+//!   flag write dead when a later in-block write overwrites all four
+//!   CCR bits before any consumer (a conditional branch, a possibly-
+//!   faulting op, or the block exit) can observe it; dead writes are
+//!   skipped at run time.
+//!
+//! Translation is **pure cache** in the Milanés sense (DESIGN.md §15):
+//! blocks are derived from the immutable `(text, IsaLevel)` pair the
+//! icache already owns, are invalidated and rebuilt exactly when the
+//! icache is, and never hold guest state. The architected machine —
+//! registers, memory, simtime charging — is bit-identical with the
+//! translator on or off:
+//!
+//! * the CCR is materialized before every point at which it is
+//!   visible: block exits, traps, and every `Generic` op (which may
+//!   fault and hand the registers to the kernel's dump path mid-block);
+//! * cost units are charged per *architected instruction* from the same
+//!   `cost_units()` table: a completed block charges the precomputed
+//!   sum, a mid-block fault charges exactly the instructions that
+//!   retired before it (the faulting one charges nothing, like the
+//!   slot path);
+//! * [`Cpu::step_superblock`] only retires a whole block when it fits
+//!   the caller's remaining budget, and single-steps through the slot
+//!   path otherwise — so quantum and signal-check pauses land on the
+//!   same instruction the slot-by-slot loop would pause on.
+//!
+//! Blocks never outrun the text segment: translation walks icache
+//! slots only (never raw memory), ends with a [`SbOp::Stop`] at the
+//! first pc past `text_len`, and the interpreter re-checks the segment
+//! there — code copied to and executed from the data segment always
+//! takes the live-decode fallback, bytes read fresh from `Memory`.
+
+use std::sync::OnceLock;
+
+use crate::cpu::{Cpu, Fault, Flow, StepEvent};
+use crate::icache::{ICache, Slot};
+use crate::isa::{Instr, Op, Operand, Size};
+use crate::mem::Memory;
+
+/// Longest straight-line run fused into one block. Capped so the
+/// budget test in [`Cpu::step_superblock`] stays fine-grained: a block
+/// is only retired whole, so its total cost bounds how far past a
+/// quantum boundary the fused path could otherwise have to single-step.
+pub const MAX_OPS: usize = 64;
+
+/// A translated straight-line run. Built by [`ICache::superblock`],
+/// executed by [`Cpu::step_superblock`].
+#[derive(Debug)]
+pub struct SuperBlock {
+    /// Micro-ops; the last one always redirects control (branch, trap,
+    /// stop, or a generic whose `Flow` leaves the block).
+    ops: Vec<SbOp>,
+    /// Side table for [`SbOp::Generic`] micro-ops.
+    gens: Vec<GenOp>,
+    /// Cost units charged when the whole block retires.
+    total_units: u64,
+}
+
+impl SuperBlock {
+    /// Cost units a full pass through the block charges.
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// Number of architected instructions the block covers.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the block covers no instructions (never built).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// How many micro-ops carry a live (non-elided) flag update —
+    /// exposed for the fused-flags tests.
+    pub fn live_flag_writes(&self) -> usize {
+        self.ops.iter().filter(|op| op.flags_live()).count()
+    }
+}
+
+/// Source operand of a fused register/immediate micro-op.
+#[derive(Clone, Copy, Debug)]
+enum Src {
+    /// Immediate, inlined at translation time.
+    Imm(u32),
+    /// Data register.
+    D(u8),
+}
+
+/// One micro-op. All fused variants are `Size::Long`, register/
+/// immediate, non-faulting, cost-unit 1; anything else is `Generic`.
+/// `flags: false` marks a condition-code update the liveness scan
+/// proved dead.
+#[derive(Clone, Copy, Debug)]
+enum SbOp {
+    /// `move.l src, dN`.
+    Move { src: Src, d: u8, flags: bool },
+    /// `add.l src, dN`.
+    Add { src: Src, d: u8, flags: bool },
+    /// `sub.l src, dN`.
+    Sub { src: Src, d: u8, flags: bool },
+    /// `cmp.l src, dN` — pure flag write; fully dead when elided.
+    Cmp { src: Src, d: u8, flags: bool },
+    /// `and.l` / `or.l` / `eor.l src, dN`.
+    Logic { op: Op, src: Src, d: u8, flags: bool },
+    /// `lsl.l` / `lsr.l` / `asr.l #n, dN` (immediate count, pre-masked).
+    Shift { op: Op, n: u32, d: u8, flags: bool },
+    /// `tst.l dN` — pure flag write.
+    Tst { d: u8, flags: bool },
+    /// `not.l dN` / `neg.l dN`.
+    NotNeg { neg: bool, d: u8, flags: bool },
+    /// `nop`.
+    Nop,
+    /// Any other instruction, executed through [`Cpu::execute`] with
+    /// the predecoded `Instr` from the side table. May fault, so it is
+    /// a flag-liveness barrier.
+    Generic(u16),
+    /// `bra target` (terminator).
+    Bra { target: u32 },
+    /// Conditional branch (terminator); consumes the flags.
+    Bcc { op: Op, target: u32, next_pc: u32 },
+    /// `trap #vector` (terminator); pc is left after the trap so the
+    /// kernel can resume, exactly like the slot path.
+    Trap { vector: u8, next_pc: u32 },
+    /// Block boundary before `pc`: length cap, a slot the translator
+    /// leaves to the slot path, or the end of text. Charges nothing —
+    /// the instruction at `pc` has not run.
+    Stop { pc: u32 },
+}
+
+impl SbOp {
+    /// Units of the fused variants (all register/immediate → 1).
+    const FUSED_UNITS: u32 = 1;
+
+    fn flags_live(&self) -> bool {
+        match *self {
+            SbOp::Move { flags, .. }
+            | SbOp::Add { flags, .. }
+            | SbOp::Sub { flags, .. }
+            | SbOp::Cmp { flags, .. }
+            | SbOp::Logic { flags, .. }
+            | SbOp::Shift { flags, .. }
+            | SbOp::Tst { flags, .. }
+            | SbOp::NotNeg { flags, .. } => flags,
+            _ => false,
+        }
+    }
+}
+
+/// Side-table entry for a [`SbOp::Generic`] micro-op.
+#[derive(Clone, Debug)]
+struct GenOp {
+    instr: Instr,
+    /// The instruction's own pc (fault reporting, `execute` contract).
+    pc: u32,
+    /// Fall-through pc.
+    next_pc: u32,
+    /// `cost_units()` of this instruction.
+    units: u32,
+    /// Units of every op before this one — the charge when this op
+    /// faults (the faulting instruction itself charges nothing).
+    units_before: u64,
+}
+
+/// A translated cell: either a block or a marker that this slot is
+/// better served by the slot path (fault slots, malformed control
+/// transfers at the block head).
+#[derive(Debug)]
+pub(crate) enum SbEntry {
+    Block(Box<SuperBlock>),
+    Bypass,
+}
+
+/// Lazily translated blocks, one cell per 4-byte icache slot.
+///
+/// `OnceLock` keeps the read path lock-free and the cache shareable
+/// across fork and shard threads through the icache's `Arc`; a racing
+/// double translation is benign because `translate` is a pure function
+/// of the immutable slots.
+pub(crate) struct SbCache {
+    cells: Vec<OnceLock<SbEntry>>,
+}
+
+impl SbCache {
+    pub(crate) fn new(nslots: usize) -> SbCache {
+        let mut cells = Vec::with_capacity(nslots);
+        cells.resize_with(nslots, OnceLock::new);
+        SbCache { cells }
+    }
+
+    /// The translated entry for slot `idx`, building it on first use.
+    #[inline]
+    pub(crate) fn entry<'a>(&'a self, idx: usize, ic: &'a ICache, pc: u32) -> &'a SbEntry {
+        self.cells[idx].get_or_init(|| translate(ic, pc))
+    }
+
+    /// How many cells hold a translation (for Debug and tests).
+    pub(crate) fn translated(&self) -> usize {
+        self.cells.iter().filter(|c| c.get().is_some()).count()
+    }
+}
+
+/// Maps a slot instruction to its fused micro-op, or `None` for the
+/// generic path. Only `Size::Long` register/immediate forms fuse; the
+/// fused arms replicate `Cpu::execute`'s semantics exactly (pinned by
+/// the equivalence tests below).
+fn fuse(i: &Instr) -> Option<SbOp> {
+    if i.op == Op::Nop {
+        return Some(SbOp::Nop);
+    }
+    if i.size != Size::Long {
+        return None;
+    }
+    let src = match i.src {
+        Operand::Imm(v) => Some(Src::Imm(v)),
+        Operand::DReg(r) => Some(Src::D(r)),
+        _ => None,
+    };
+    let d = match i.dst {
+        Operand::DReg(r) => r,
+        _ => return None,
+    };
+    let flags = true; // The liveness scan prunes these afterwards.
+    Some(match i.op {
+        Op::Move => SbOp::Move { src: src?, d, flags },
+        Op::Add => SbOp::Add { src: src?, d, flags },
+        Op::Sub => SbOp::Sub { src: src?, d, flags },
+        Op::Cmp => SbOp::Cmp { src: src?, d, flags },
+        Op::And | Op::Or | Op::Eor => SbOp::Logic {
+            op: i.op,
+            src: src?,
+            d,
+            flags,
+        },
+        // Shifts fuse only with an immediate count (`execute` masks a
+        // register count the same way, but the common encoding is
+        // immediate and the constant lets the arm stay branch-light).
+        Op::Lsl | Op::Lsr | Op::Asr => match i.src {
+            Operand::Imm(n) => SbOp::Shift {
+                op: i.op,
+                n: n & 63,
+                d,
+                flags,
+            },
+            _ => return None,
+        },
+        Op::Tst if i.src == Operand::None => SbOp::Tst { d, flags },
+        Op::Not => SbOp::NotNeg { neg: false, d, flags },
+        Op::Neg => SbOp::NotNeg { neg: true, d, flags },
+        _ => return None,
+    })
+}
+
+/// Translates the straight-line run starting at `pc` (which must be an
+/// aligned in-text slot — the caller checked).
+fn translate(ic: &ICache, start: u32) -> SbEntry {
+    let mut ops: Vec<SbOp> = Vec::new();
+    let mut gens: Vec<GenOp> = Vec::new();
+    let mut total: u64 = 0;
+    let mut pc = start;
+    loop {
+        if ops.len() >= MAX_OPS {
+            ops.push(SbOp::Stop { pc });
+            break;
+        }
+        let Some(&Slot::Instr { instr, ilen, units }) = ic.lookup(pc) else {
+            // Fault slot or past text end: the slot path reproduces the
+            // exact fault (or falls back to live decode past text_end).
+            if ops.is_empty() {
+                return SbEntry::Bypass;
+            }
+            ops.push(SbOp::Stop { pc });
+            break;
+        };
+        let next_pc = pc.wrapping_add(ilen);
+        if instr.op.is_branch() {
+            if let Operand::Abs(target) = instr.dst {
+                total += units as u64;
+                ops.push(if instr.op == Op::Bra {
+                    SbOp::Bra { target }
+                } else {
+                    SbOp::Bcc {
+                        op: instr.op,
+                        target,
+                        next_pc,
+                    }
+                });
+                break;
+            }
+            // A branch without an absolute target faults in `execute`;
+            // leave it to the slot path.
+            if ops.is_empty() {
+                return SbEntry::Bypass;
+            }
+            ops.push(SbOp::Stop { pc });
+            break;
+        }
+        if instr.op == Op::Trap {
+            if let Operand::Imm(v) = instr.src {
+                total += units as u64;
+                ops.push(SbOp::Trap {
+                    vector: v as u8,
+                    next_pc,
+                });
+                break;
+            }
+            if ops.is_empty() {
+                return SbEntry::Bypass;
+            }
+            ops.push(SbOp::Stop { pc });
+            break;
+        }
+        match fuse(&instr) {
+            Some(op) => {
+                total += SbOp::FUSED_UNITS as u64;
+                debug_assert_eq!(units, SbOp::FUSED_UNITS);
+                ops.push(op);
+                pc = next_pc;
+            }
+            None => {
+                gens.push(GenOp {
+                    instr,
+                    pc,
+                    next_pc,
+                    units,
+                    units_before: total,
+                });
+                total += units as u64;
+                ops.push(SbOp::Generic((gens.len() - 1) as u16));
+                if matches!(instr.op, Op::Jsr | Op::Rts) {
+                    // Control leaves the straight line here.
+                    break;
+                }
+                pc = next_pc;
+            }
+        }
+    }
+    elide_dead_flags(&mut ops);
+    SbEntry::Block(Box::new(SuperBlock {
+        ops,
+        gens,
+        total_units: total,
+    }))
+}
+
+/// Backward liveness scan over the condition codes.
+///
+/// Walking from the block exit toward the entry, the flags are *live*
+/// wherever a consumer may observe them: the exit itself (the next
+/// block, a dump, a kernel writeback may all read SR), a conditional
+/// branch, and every `Generic` op — which can fault and expose the
+/// registers mid-block. A fused op writes all four CCR bits, so it
+/// keeps its update only when the flags are live there, and makes
+/// every earlier write dead until the next barrier.
+fn elide_dead_flags(ops: &mut [SbOp]) {
+    let mut live = true;
+    for op in ops.iter_mut().rev() {
+        match op {
+            // Consumers and fault barriers.
+            SbOp::Bcc { .. } | SbOp::Generic(_) => live = true,
+            // Flag-neutral.
+            SbOp::Nop | SbOp::Bra { .. } | SbOp::Trap { .. } | SbOp::Stop { .. } => {}
+            // Fused writers of all four bits.
+            SbOp::Move { flags, .. }
+            | SbOp::Add { flags, .. }
+            | SbOp::Sub { flags, .. }
+            | SbOp::Cmp { flags, .. }
+            | SbOp::Logic { flags, .. }
+            | SbOp::Shift { flags, .. }
+            | SbOp::Tst { flags, .. }
+            | SbOp::NotNeg { flags, .. } => {
+                *flags = live;
+                live = false;
+            }
+        }
+    }
+}
+
+/// `Size::Long` shift, mirroring `Cpu::execute`'s Lsl/Lsr/Asr arm
+/// bit for bit (count already masked to 0..64). Returns `(result, c)`.
+#[inline(always)]
+fn shift_long(op: Op, d: u32, count: u32) -> (u32, bool) {
+    if count == 0 {
+        (d, false)
+    } else if count >= 32 {
+        match op {
+            Op::Asr if (d as i32) < 0 => (u32::MAX, true),
+            _ => (0, false),
+        }
+    } else {
+        match op {
+            Op::Lsl => (d.wrapping_shl(count), (d >> (32 - count)) & 1 != 0),
+            Op::Lsr => (d >> count, (d >> (count - 1)) & 1 != 0),
+            _ => ((((d as i32) >> count) as u32), (d >> (count - 1)) & 1 != 0),
+        }
+    }
+}
+
+/// How a whole-block run ended.
+enum BlockOut {
+    /// Block done; `used` units retired, pc at the next instruction.
+    Done { used: u64 },
+    /// A trap retired; pc is past the trap, `used` includes it.
+    Trap { vector: u8, used: u64 },
+    /// A generic op faulted; pc at the faulting instruction, which
+    /// charges nothing — `used` covers only the retired prefix.
+    Faulted { fault: Fault, used: u64 },
+}
+
+/// How [`Cpu::step_superblock`] returned to the kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SbExit {
+    /// The budget was reached. The pc sits exactly where the slot-by-
+    /// slot loop would have paused.
+    Paused,
+    /// A trap retired (pc already past it); its units are included in
+    /// the returned total, so the kernel must not charge them again.
+    Trap {
+        /// The trap vector.
+        vector: u8,
+    },
+    /// A fault, pc left at the faulting instruction (charged nothing).
+    Faulted(Fault),
+}
+
+impl Cpu {
+    /// One full pass over `sb`. Fused arms never touch `pc` (its value
+    /// is architecturally invisible until a visible point, where the
+    /// terminator or the generic path materializes it).
+    #[inline]
+    fn run_block(&mut self, mem: &mut Memory, sb: &SuperBlock) -> BlockOut {
+        for op in &sb.ops {
+            match *op {
+                SbOp::Move { src, d, flags } => {
+                    let v = self.src_val(src);
+                    self.d[(d & 7) as usize] = v;
+                    if flags {
+                        self.set_ccr(false, false, v, Size::Long);
+                    }
+                }
+                SbOp::Add { src, d, flags } => {
+                    let s = self.src_val(src);
+                    let dd = self.d[(d & 7) as usize];
+                    let r = dd.wrapping_add(s);
+                    if flags {
+                        let c = (dd as u64 + s as u64) > u32::MAX as u64;
+                        let v = ((dd ^ r) & (s ^ r) & 0x8000_0000) != 0;
+                        self.set_ccr(c, v, r, Size::Long);
+                    }
+                    self.d[(d & 7) as usize] = r;
+                }
+                SbOp::Sub { src, d, flags } => {
+                    let s = self.src_val(src);
+                    let dd = self.d[(d & 7) as usize];
+                    let r = dd.wrapping_sub(s);
+                    if flags {
+                        let v = ((dd ^ s) & (dd ^ r) & 0x8000_0000) != 0;
+                        self.set_ccr(s > dd, v, r, Size::Long);
+                    }
+                    self.d[(d & 7) as usize] = r;
+                }
+                SbOp::Cmp { src, d, flags } => {
+                    if flags {
+                        let s = self.src_val(src);
+                        let dd = self.d[(d & 7) as usize];
+                        let r = dd.wrapping_sub(s);
+                        let v = ((dd ^ s) & (dd ^ r) & 0x8000_0000) != 0;
+                        self.set_ccr(s > dd, v, r, Size::Long);
+                    }
+                }
+                SbOp::Logic { op, src, d, flags } => {
+                    let s = self.src_val(src);
+                    let dd = self.d[(d & 7) as usize];
+                    let r = match op {
+                        Op::And => dd & s,
+                        Op::Or => dd | s,
+                        _ => dd ^ s,
+                    };
+                    if flags {
+                        self.set_ccr(false, false, r, Size::Long);
+                    }
+                    self.d[(d & 7) as usize] = r;
+                }
+                SbOp::Shift { op, n, d, flags } => {
+                    let dd = self.d[(d & 7) as usize];
+                    let (r, c) = shift_long(op, dd, n);
+                    if flags {
+                        self.set_ccr(c, false, r, Size::Long);
+                    }
+                    self.d[(d & 7) as usize] = r;
+                }
+                SbOp::Tst { d, flags } => {
+                    if flags {
+                        let dd = self.d[(d & 7) as usize];
+                        self.set_ccr(false, false, dd, Size::Long);
+                    }
+                }
+                SbOp::NotNeg { neg, d, flags } => {
+                    let dd = self.d[(d & 7) as usize];
+                    let r = if neg { dd.wrapping_neg() } else { !dd };
+                    if flags {
+                        self.set_ccr(neg && r != 0, false, r, Size::Long);
+                    }
+                    self.d[(d & 7) as usize] = r;
+                }
+                SbOp::Nop => {}
+                SbOp::Generic(i) => {
+                    let g = &sb.gens[i as usize];
+                    // `execute` reports fault pcs from `self.pc` and
+                    // pushes `next_pc` for jsr, exactly like the slot
+                    // path; materialize the architected pc first.
+                    self.pc = g.pc;
+                    match self.execute(mem, &g.instr, g.next_pc) {
+                        Ok(Flow::Next) => self.pc = g.next_pc,
+                        Ok(Flow::Jump(t)) => {
+                            self.pc = t;
+                            return BlockOut::Done {
+                                used: g.units_before + g.units as u64,
+                            };
+                        }
+                        Ok(Flow::Trap(vector)) => {
+                            self.pc = g.next_pc;
+                            return BlockOut::Trap {
+                                vector,
+                                used: g.units_before + g.units as u64,
+                            };
+                        }
+                        Err(fault) => {
+                            return BlockOut::Faulted {
+                                fault,
+                                used: g.units_before,
+                            }
+                        }
+                    }
+                }
+                SbOp::Bra { target } => {
+                    self.pc = target;
+                    return BlockOut::Done {
+                        used: sb.total_units,
+                    };
+                }
+                SbOp::Bcc { op, target, next_pc } => {
+                    self.pc = if self.branch_taken(op) { target } else { next_pc };
+                    return BlockOut::Done {
+                        used: sb.total_units,
+                    };
+                }
+                SbOp::Trap { vector, next_pc } => {
+                    self.pc = next_pc;
+                    return BlockOut::Trap {
+                        vector,
+                        used: sb.total_units,
+                    };
+                }
+                SbOp::Stop { pc } => {
+                    self.pc = pc;
+                    return BlockOut::Done {
+                        used: sb.total_units,
+                    };
+                }
+            }
+        }
+        // Only reachable when the final op is a Generic that fell
+        // through (it was a Jsr/Rts whose Flow semantics changed —
+        // impossible today, but harmless: pc is already advanced).
+        BlockOut::Done {
+            used: sb.total_units,
+        }
+    }
+
+    #[inline(always)]
+    fn src_val(&self, src: Src) -> u32 {
+        match src {
+            Src::Imm(v) => v,
+            Src::D(r) => self.d[(r & 7) as usize],
+        }
+    }
+
+    /// Interprets through superblocks until `budget` cost units are
+    /// retired or control leaves the straight-line world (trap, fault).
+    ///
+    /// Bit-identical to calling [`Cpu::step_cached`] in the kernel's
+    /// slot loop with the same budget: a block is retired whole only
+    /// when its entire cost fits the remaining budget; otherwise the
+    /// slot path single-steps, so the pause lands on exactly the
+    /// instruction the per-step loop would have paused on (the first
+    /// one where the running total reaches `budget`). Like the slot
+    /// loop, at least one instruction always retires.
+    ///
+    /// The returned `u64` is the units actually retired (a trap's own
+    /// units included — the kernel must not add them again).
+    pub fn step_superblock(&mut self, mem: &mut Memory, ic: &ICache, budget: u64) -> (u64, SbExit) {
+        let mut used: u64 = 0;
+        loop {
+            let fused = match ic.superblock(self.pc) {
+                Some(sb) if used.saturating_add(sb.total_units) <= budget => {
+                    match self.run_block(mem, sb) {
+                        BlockOut::Done { used: u } => {
+                            used += u;
+                            true
+                        }
+                        BlockOut::Trap { vector, used: u } => {
+                            return (used + u, SbExit::Trap { vector });
+                        }
+                        BlockOut::Faulted { fault, used: u } => {
+                            return (used + u, SbExit::Faulted(fault));
+                        }
+                    }
+                }
+                _ => false,
+            };
+            if !fused {
+                // Slot-by-slot: block missing (non-text pc, bypass
+                // slot) or too big for the remaining budget.
+                match self.step_cached(mem, ic) {
+                    StepEvent::Executed { units } => used += units as u64,
+                    StepEvent::Trap { vector, units } => {
+                        return (used + units as u64, SbExit::Trap { vector });
+                    }
+                    StepEvent::Faulted(f) => return (used, SbExit::Faulted(f)),
+                }
+            }
+            if used >= budget {
+                return (used, SbExit::Paused);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::icache::ICache;
+    use crate::isa::IsaLevel;
+    use crate::mem::MemoryLayout;
+
+    const LOOP_SRC: &str = r"
+        start:  move.l  #100, d6
+        loop:   add.l   #1, d5
+                eor.l   d5, d4
+                lsr.l   #1, d4
+                sub.l   #1, d6
+                bgt     loop
+                trap    #0
+    ";
+
+    /// Mixed workload: fused ALU, shifts at edge counts, generic ops
+    /// (memory, word size, mul/div, jsr/rts), both branch polarities.
+    const MIXED_SRC: &str = r"
+        start:  move.l  #0x80000001, d0
+                lsl.l   #1, d0
+                asr.l   #3, d0
+                lsr.l   #0, d0
+                not.l   d1
+                neg.l   d1
+                move.l  #25, d2
+                muls.l  #3, d2
+                divs.l  #5, d2
+                move.w  #7, d3
+                tst.l   d3
+                beq     never
+                lea     buf, a0
+                move.l  d2, (a0)
+                move.l  (a0), d4
+                jsr     fn
+                cmp.l   #1, d5
+                bne     never
+                trap    #0
+        never:  trap    #1
+        fn:     move.l  #1, d5
+                rts
+        buf:    .space  8
+    ";
+
+    fn lockstep(src: &str, level: IsaLevel) {
+        let obj = assemble(src).unwrap();
+        let ic = ICache::build(&obj.text, level);
+
+        // Reference: the slot path, one instruction at a time.
+        let mut mem_a = obj.to_memory();
+        let mut cpu_a = Cpu::at_entry(obj.entry);
+        // Superblocks, driven with a 1-unit budget so every return is
+        // comparable to a handful of slot steps.
+        let mut mem_b = obj.to_memory();
+        let mut cpu_b = Cpu::at_entry(obj.entry);
+
+        let mut units_a: u64 = 0;
+        let mut units_b: u64 = 0;
+        let mut end_a = None;
+        let mut end_b = None;
+        for _ in 0..100_000 {
+            if end_a.is_none() {
+                match cpu_a.step_cached(&mut mem_a, &ic) {
+                    StepEvent::Executed { units } => units_a += units as u64,
+                    StepEvent::Trap { vector, units } => {
+                        units_a += units as u64;
+                        end_a = Some(SbExit::Trap { vector });
+                    }
+                    StepEvent::Faulted(f) => end_a = Some(SbExit::Faulted(f)),
+                }
+            }
+            if end_b.is_none() && units_b <= units_a {
+                let budget = (units_a - units_b).max(1);
+                let (u, exit) = cpu_b.step_superblock(&mut mem_b, &ic, budget);
+                units_b += u;
+                match exit {
+                    SbExit::Paused => {}
+                    other => end_b = Some(other),
+                }
+            }
+            if end_a.is_some() && end_b.is_some() {
+                break;
+            }
+        }
+        assert_eq!(end_a, end_b, "terminal events must match");
+        assert_eq!(units_a, units_b, "simtime charging must be identical");
+        assert_eq!(cpu_a, cpu_b, "register file (incl. SR) must match");
+        assert_eq!(mem_a, mem_b, "memory must match");
+    }
+
+    #[test]
+    fn fused_run_matches_slot_path_bit_for_bit() {
+        lockstep(LOOP_SRC, IsaLevel::Isa1);
+    }
+
+    #[test]
+    fn mixed_generic_run_matches_slot_path_bit_for_bit() {
+        lockstep(MIXED_SRC, IsaLevel::Isa2);
+    }
+
+    #[test]
+    fn every_budget_pauses_on_the_same_instruction() {
+        // For every budget 1..total, a superblock run must stop with
+        // the same cpu state and charge as the slot loop stopped at
+        // the first step where `spent >= budget`.
+        let obj = assemble(LOOP_SRC).unwrap();
+        let ic = ICache::build(&obj.text, IsaLevel::Isa1);
+        for budget in 1..200u64 {
+            let mut mem_a = obj.to_memory();
+            let mut cpu_a = Cpu::at_entry(obj.entry);
+            let mut spent_a: u64 = 0;
+            loop {
+                match cpu_a.step_cached(&mut mem_a, &ic) {
+                    StepEvent::Executed { units } => {
+                        spent_a += units as u64;
+                        if spent_a >= budget {
+                            break;
+                        }
+                    }
+                    ev => panic!("unexpected event {ev:?} under budget {budget}"),
+                }
+            }
+            let mut mem_b = obj.to_memory();
+            let mut cpu_b = Cpu::at_entry(obj.entry);
+            let (used, exit) = cpu_b.step_superblock(&mut mem_b, &ic, budget);
+            assert_eq!(exit, SbExit::Paused, "budget {budget}");
+            assert_eq!(used, spent_a, "budget {budget}: charge");
+            assert_eq!(cpu_a, cpu_b, "budget {budget}: cpu state");
+        }
+    }
+
+    #[test]
+    fn mid_block_fault_charges_only_the_retired_prefix() {
+        // Two fused ops, then a divide by zero: pc must sit at the
+        // divide, the charge must cover exactly the two fused ops, and
+        // the flags must reflect the *second* op (the generic divide is
+        // a liveness barrier, so nothing before it may be elided).
+        let src = r"
+            start:  move.l #5, d1
+                    add.l  #2, d1
+                    divs.l d0, d1
+                    trap   #0
+        ";
+        let obj = assemble(src).unwrap();
+        let ic = ICache::build(&obj.text, IsaLevel::Isa1);
+
+        let mut mem_a = obj.to_memory();
+        let mut cpu_a = Cpu::at_entry(obj.entry);
+        let mut spent_a = 0u64;
+        let fault_a = loop {
+            match cpu_a.step_cached(&mut mem_a, &ic) {
+                StepEvent::Executed { units } => spent_a += units as u64,
+                StepEvent::Faulted(f) => break f,
+                ev => panic!("unexpected {ev:?}"),
+            }
+        };
+
+        let mut mem_b = obj.to_memory();
+        let mut cpu_b = Cpu::at_entry(obj.entry);
+        let (used, exit) = cpu_b.step_superblock(&mut mem_b, &ic, u64::MAX);
+        assert_eq!(exit, SbExit::Faulted(fault_a));
+        assert_eq!(used, spent_a);
+        assert_eq!(cpu_a, cpu_b, "pc at the divide, SR from the add");
+    }
+
+    #[test]
+    fn dead_flags_are_elided_and_live_ones_kept() {
+        // add, eor, lsr all die into sub's full CCR write; sub's flags
+        // feed bgt. Only sub keeps its update.
+        let obj = assemble(LOOP_SRC).unwrap();
+        let ic = ICache::build(&obj.text, IsaLevel::Isa1);
+        let loop_pc = obj.symbols["loop"];
+        let sb = ic.superblock(loop_pc).expect("loop head translates");
+        assert_eq!(sb.len(), 5, "add, eor, lsr, sub, bgt");
+        assert_eq!(
+            sb.live_flag_writes(),
+            1,
+            "only the sub feeding bgt keeps its flag update"
+        );
+        // The entry block ends at the same bgt but starts at move #100;
+        // the move's flags also die into sub's write.
+        let sb0 = ic.superblock(obj.entry).expect("entry translates");
+        assert_eq!(sb0.live_flag_writes(), 1);
+    }
+
+    #[test]
+    fn blocks_end_at_text_boundary_and_never_read_stale_bytes() {
+        // A routine with no terminator runs straight to the end of
+        // text: the block must Stop at text_end and the interpreter
+        // must re-check the segment there (falling into the unmapped
+        // gap exactly like the slot path), not run off cached slots.
+        let src = r"
+            start:  move.l #1, d0
+                    add.l  #2, d0
+        ";
+        let obj = assemble(src).unwrap();
+        let ic = ICache::build(&obj.text, IsaLevel::Isa1);
+        let sb = ic.superblock(obj.entry).expect("translates");
+        assert_eq!(sb.len(), 3, "two fused ops plus the Stop boundary");
+
+        let mut mem_a = obj.to_memory();
+        let mut cpu_a = Cpu::at_entry(obj.entry);
+        let ev_a = loop {
+            match cpu_a.step_cached(&mut mem_a, &ic) {
+                StepEvent::Executed { .. } => {}
+                ev => break ev,
+            }
+        };
+        let mut mem_b = obj.to_memory();
+        let mut cpu_b = Cpu::at_entry(obj.entry);
+        let (_, exit) = cpu_b.step_superblock(&mut mem_b, &ic, u64::MAX);
+        assert!(
+            matches!(ev_a, StepEvent::Faulted(Fault::Unmapped { .. })),
+            "running off text faults"
+        );
+        assert_eq!(SbExit::Faulted(match ev_a {
+            StepEvent::Faulted(f) => f,
+            _ => unreachable!(),
+        }), exit);
+        assert_eq!(cpu_a, cpu_b);
+        assert_eq!(
+            cpu_b.pc,
+            MemoryLayout::TEXT_BASE + obj.text.len() as u32,
+            "pc parked at the segment boundary"
+        );
+    }
+
+    #[test]
+    fn code_copied_to_data_segment_runs_identically() {
+        // The data-segment fallback boundary: a routine copied into
+        // and executed from the data segment must behave identically
+        // with superblocks on and off — blocks are built from text
+        // slots only, so a data-segment pc always takes the live
+        // decoder against fresh memory bytes.
+        let routine = assemble("start: move.l #42, d3\n add.l #1, d3\n trap #0\n")
+            .unwrap()
+            .text;
+        let obj = assemble(LOOP_SRC).unwrap();
+        let ic = ICache::build(&obj.text, IsaLevel::Isa1);
+        let mut mem_a = Memory::new(obj.text.clone(), routine.clone(), 0);
+        let data_pc = mem_a.data_base();
+        let mut cpu_a = Cpu::at_entry(data_pc);
+        let mut mem_b = mem_a.clone();
+        let mut cpu_b = cpu_a.clone();
+
+        let mut spent_a = 0u64;
+        let trap_a = loop {
+            match cpu_a.step_cached(&mut mem_a, &ic) {
+                StepEvent::Executed { units } => spent_a += units as u64,
+                StepEvent::Trap { vector, units } => break (vector, spent_a + units as u64),
+                ev => panic!("unexpected {ev:?}"),
+            }
+        };
+        let (used, exit) = cpu_b.step_superblock(&mut mem_b, &ic, u64::MAX);
+        assert_eq!(exit, SbExit::Trap { vector: trap_a.0 });
+        assert_eq!(used, trap_a.1);
+        assert_eq!(cpu_a, cpu_b);
+        assert_eq!(cpu_b.d[3], 43);
+        assert!(
+            ic.superblock(data_pc).is_none(),
+            "no superblock exists outside text"
+        );
+    }
+
+    #[test]
+    fn bypass_slots_fall_back_to_the_slot_path() {
+        // An illegal word at the block head: superblock() must yield
+        // Bypass and step_superblock must fault exactly like the slot
+        // path.
+        let text = vec![0xFFu8, 0, 0, 0];
+        let ic = ICache::build(&text, IsaLevel::Isa1);
+        assert!(ic.superblock(MemoryLayout::TEXT_BASE).is_none());
+        let mut mem = Memory::new(text, vec![0; 16], 16);
+        let mut cpu = Cpu::at_entry(MemoryLayout::TEXT_BASE);
+        let (used, exit) = cpu.step_superblock(&mut mem, &ic, u64::MAX);
+        assert_eq!(used, 0);
+        assert_eq!(
+            exit,
+            SbExit::Faulted(Fault::IllegalInstruction {
+                pc: MemoryLayout::TEXT_BASE
+            })
+        );
+    }
+
+    #[test]
+    fn jump_into_extension_words_matches_slot_semantics() {
+        // Superblocks can start at any 4-byte offset, including the
+        // middle of an encoded instruction; every offset must agree
+        // with the slot path (which already agrees with live decode).
+        let obj = assemble(MIXED_SRC).unwrap();
+        let ic = ICache::build(&obj.text, IsaLevel::Isa2);
+        for off in (0..obj.text.len() as u32).step_by(4) {
+            let pc = MemoryLayout::TEXT_BASE + off;
+            let mut mem_a = obj.to_memory();
+            let mut cpu_a = Cpu::at_entry(obj.entry);
+            cpu_a.pc = pc;
+            let mut mem_b = obj.to_memory();
+            let mut cpu_b = cpu_a.clone();
+            // One slot step vs a 1-unit superblock budget: both retire
+            // at least one instruction and stop.
+            let ea = cpu_a.step_cached(&mut mem_a, &ic);
+            let (used_b, eb) = cpu_b.step_superblock(&mut mem_b, &ic, 1);
+            match ea {
+                StepEvent::Executed { units } => {
+                    // The superblock may legally retire more than one
+                    // instruction here only if a whole block fit in
+                    // budget 1 — impossible, so it must stop after one.
+                    assert_eq!(eb, SbExit::Paused, "offset {off:#x}");
+                    assert_eq!(used_b, units as u64, "offset {off:#x}");
+                    assert_eq!(cpu_a, cpu_b, "offset {off:#x}");
+                }
+                StepEvent::Trap { vector, units } => {
+                    assert_eq!(eb, SbExit::Trap { vector }, "offset {off:#x}");
+                    assert_eq!(used_b, units as u64, "offset {off:#x}");
+                    assert_eq!(cpu_a, cpu_b, "offset {off:#x}");
+                }
+                StepEvent::Faulted(f) => {
+                    assert_eq!(eb, SbExit::Faulted(f), "offset {off:#x}");
+                    assert_eq!(cpu_a, cpu_b, "offset {off:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_cache_is_shared_and_lazy() {
+        let obj = assemble(LOOP_SRC).unwrap();
+        let ic = ICache::build(&obj.text, IsaLevel::Isa1);
+        assert_eq!(ic.translated_blocks(), 0, "translation is lazy");
+        let mut mem = obj.to_memory();
+        let mut cpu = Cpu::at_entry(obj.entry);
+        let (_, exit) = cpu.step_superblock(&mut mem, &ic, u64::MAX);
+        assert_eq!(exit, SbExit::Trap { vector: 0 });
+        let n = ic.translated_blocks();
+        assert!(n >= 2, "entry + loop head translated, got {n}");
+        // A clone (fresh process image path) starts cold again.
+        assert_eq!(ic.clone().translated_blocks(), 0);
+    }
+}

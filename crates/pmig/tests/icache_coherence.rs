@@ -18,6 +18,16 @@ fn alice() -> Credentials {
 fn config(use_icache: bool) -> KernelConfig {
     let mut cfg = KernelConfig::paper();
     cfg.use_icache = use_icache;
+    // Superblocks require the icache; keep the toggle honest when the
+    // cache itself is the variable under test.
+    cfg.use_superblocks = use_icache;
+    cfg
+}
+
+/// Icache on in both arms; only the superblock tier toggles.
+fn config_sb(use_superblocks: bool) -> KernelConfig {
+    let mut cfg = KernelConfig::paper();
+    cfg.use_superblocks = use_superblocks;
     cfg
 }
 
@@ -170,6 +180,134 @@ fn interrupted_and_restored_run_matches_uninterrupted_run() {
     assert_eq!(info_a.status, info_b.status);
     assert!(handle_a.output_text().contains("R3 S3 K3"));
     assert!(handle2.output_text().contains("R4 S4 K4"));
+}
+
+/// The superblock tier of the same contract: dump → migrate → restore
+/// with block translation on versus off must agree on every artefact
+/// the icache-level test compares — the fused path is a cache of a
+/// cache, and neither layer may leak into guest-visible state.
+#[test]
+fn migration_restores_identical_guest_state_with_superblocks_on_and_off() {
+    let mut ends = Vec::new();
+    for use_superblocks in [true, false] {
+        let (mut w, brick, schooner, pid, _handle) = boot_and_prompt(config_sb(use_superblocks), 3);
+        let status = api::run_dumpproc(&mut w, brick, pid, alice()).expect("dumpproc runs");
+        assert_eq!(status, 0);
+        let names = dumpfmt::dump_file_names(pid);
+        let stack_file = w.host_read_file(brick, &names.stack).unwrap();
+        let (tty2, handle2) = w.add_terminal(schooner);
+        let new_pid = api::run_restart(
+            &mut w,
+            schooner,
+            RestartArgs {
+                pid,
+                dump_host: Some("brick".into()),
+                demand: false,
+            },
+            Some(tty2),
+            alice(),
+        )
+        .expect("restart succeeds");
+        w.run_slices(50_000);
+        let (cpu, text, data, stack) = {
+            let p = w.proc_ref(schooner, new_pid).expect("restored process");
+            let Body::Vm(vm) = &p.body else {
+                panic!("restored body is not a VM")
+            };
+            (
+                vm.cpu.clone(),
+                vm.mem.text().to_vec(),
+                vm.mem.data().to_vec(),
+                vm.mem.stack_from(vm.cpu.a[7]).unwrap_or(&[]).to_vec(),
+            )
+        };
+        handle2.type_input("line 3\n");
+        w.run_slices(50_000);
+        handle2.with(|t| t.close());
+        let info = w.run_until_exit(schooner, new_pid, 100_000).expect("exits");
+        let out = w.host_read_file(brick, "/tmp/testout").unwrap();
+        ends.push((stack_file, cpu, text, data, stack, info, out));
+    }
+    let (a, b) = (&ends[0], &ends[1]);
+    assert_eq!(a.0, b.0, "dump stack file diverges across the toggle");
+    assert_eq!(a.1, b.1, "restored registers diverge");
+    assert_eq!(a.2, b.2, "restored text diverges");
+    assert_eq!(a.3, b.3, "restored data diverges");
+    assert_eq!(a.4, b.4, "restored stack diverges");
+    assert_eq!(a.5, b.5, "exit accounting diverges (simtime invariant)");
+    assert_eq!(a.6, b.6, "output file diverges");
+}
+
+/// A dump taken *mid-block* — the signal lands between a superblock's
+/// entry and its exit, so the fused engine must have paused on exactly
+/// the interior instruction the slot loop would have paused on. The
+/// restored process resumes from a pc that is not a block head (the
+/// target lazily translates a fresh block starting there) and must
+/// still finish with the same state.
+#[test]
+fn mid_block_dump_restores_identically_with_superblocks_on_and_off() {
+    // A tight counted loop: the loop body fuses into one 5-instruction
+    // superblock. The signal-poll stride (4096 units) is not a multiple
+    // of the block's 5 units, so dump pauses land inside the block.
+    const LOOP_SRC: &str = r"
+        start:  move.l  #500000, d6
+        loop:   add.l   #1, d5
+                eor.l   d5, d4
+                lsr.l   #1, d4
+                sub.l   #1, d6
+                bgt     loop
+        done:   move.l  #42, d1
+                move.l  #1, d0
+                trap    #0
+    ";
+    let obj = assemble(LOOP_SRC).unwrap();
+    let loop_addr = obj.symbols["loop"];
+    let done_addr = obj.symbols["done"];
+
+    let mut ends = Vec::new();
+    for use_superblocks in [true, false] {
+        let mut w = World::new(config_sb(use_superblocks));
+        let brick = w.add_machine("brick", IsaLevel::Isa1);
+        let schooner = w.add_machine("schooner", IsaLevel::Isa1);
+        w.install_program(brick, "/bin/spin", &obj).unwrap();
+        let pid = w.spawn_vm_proc(brick, "/bin/spin", None, alice()).unwrap();
+        // Part-way through the 2.5M-unit loop: the process is running,
+        // nowhere near done.
+        w.run_slices(7);
+        let status = api::run_dumpproc(&mut w, brick, pid, alice()).expect("dumpproc runs");
+        assert_eq!(status, 0);
+        let names = dumpfmt::dump_file_names(pid);
+        let stack_bytes = w.host_read_file(brick, &names.stack).unwrap();
+        let dumped = dumpfmt::stack_file::StackFile::decode(&stack_bytes).unwrap();
+        let pc = dumped.regs[16];
+        assert!(
+            loop_addr < pc && pc < done_addr,
+            "dump pc {pc:#x} must land strictly inside the loop block \
+             ({loop_addr:#x}..{done_addr:#x}) — adjust the slice count if \
+             the workload changed"
+        );
+        let new_pid = api::run_restart(
+            &mut w,
+            schooner,
+            RestartArgs {
+                pid,
+                dump_host: Some("brick".into()),
+                demand: false,
+            },
+            None,
+            alice(),
+        )
+        .expect("restart succeeds");
+        let info = w
+            .run_until_exit(schooner, new_pid, 10_000_000)
+            .expect("restored loop finishes");
+        ends.push((stack_bytes, pc, info));
+    }
+    let (a, b) = (&ends[0], &ends[1]);
+    assert_eq!(a.0, b.0, "mid-block dump file diverges across the toggle");
+    assert_eq!(a.1, b.1, "dump pc diverges across the toggle");
+    assert_eq!(a.2.status, 42, "restored loop must run to its exit");
+    assert_eq!(a.2, b.2, "post-restore exit accounting diverges");
 }
 
 /// Code executing from the *data* segment is invisible to the icache

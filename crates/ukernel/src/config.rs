@@ -72,6 +72,14 @@ pub struct KernelConfig {
     /// decoder on every step, which the coherence tests use to prove
     /// both paths are bit-identical.
     pub use_icache: bool,
+    /// Host-side optimisation layered on the icache: fuse straight-line
+    /// runs of predecoded slots into superblocks and retire them whole
+    /// (see DESIGN.md §15). Requires [`KernelConfig::use_icache`]; a
+    /// quantum still charges the same per-instruction units and pauses
+    /// on exactly the same instruction, so simulated time, ktrace and
+    /// dump images are bit-identical with this on or off (the coherence
+    /// tests toggle it to prove that).
+    pub use_superblocks: bool,
     /// The hardware/kernel cost calibration.
     pub cost: CostModel,
     /// Scheduler implementation (event-driven by default).
@@ -88,6 +96,7 @@ impl KernelConfig {
             virtualize_ids: false,
             fixed_name_strings: false,
             use_icache: true,
+            use_superblocks: true,
             cost: CostModel::sun2(),
             sched: Sched::default(),
             exec: Exec::default(),
@@ -125,6 +134,7 @@ mod tests {
     fn presets() {
         assert!(KernelConfig::paper().track_names);
         assert!(KernelConfig::paper().use_icache);
+        assert!(KernelConfig::paper().use_superblocks);
         assert!(!KernelConfig::original().track_names);
         assert!(KernelConfig::with_virtualized_ids().virtualize_ids);
         assert!(KernelConfig::default().track_names);

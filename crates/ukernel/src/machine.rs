@@ -140,6 +140,13 @@ pub struct MachineStats {
     /// Residual pages fetched on demand-restore page faults while this
     /// machine was the target.
     pub pages_fetched: u64,
+    /// Instruction units retired through the superblock engine (fused
+    /// blocks plus its slot-by-slot fallback steps). Host-side
+    /// observability only: the count exists solely when
+    /// [`crate::KernelConfig::use_superblocks`] is on, which must not
+    /// change the trajectory, so this field is excluded from
+    /// determinism snapshots (pure cache, like `m68vm`'s icache).
+    pub sb_retired: u64,
     /// Kernel-side per-syscall aggregates (count, total and max charged
     /// simtime), keyed by trap-table name. Ordered so iteration — and
     /// the figures JSON built from it — is deterministic.

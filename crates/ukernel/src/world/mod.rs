@@ -1808,6 +1808,10 @@ impl World {
 
         let isa = self.machines[mid].isa;
         let quantum_units = self.config.cost.quantum_us / self.config.cost.instr_us.max(1);
+        let use_superblocks = self.config.use_superblocks;
+        // Units retired through the superblock engine this quantum
+        // (host observability; folded into stats once at the end).
+        let mut sb_retired: u64 = 0;
 
         enum Pause {
             Quantum,
@@ -1863,27 +1867,61 @@ impl World {
             let demand_active = vm.mem.has_absent();
             let mut saved_cpu: Option<m68vm::Cpu> = None;
             // Borrow-free inner loop.
+            // Superblocks need the icache and bypass demand-restored
+            // images entirely: the fused path never snapshots registers
+            // per step, so the saved_cpu rollback below would not work.
+            let use_sb = use_superblocks && !demand_active && vm.icache.is_some();
             loop {
                 let checkpoint = spent.saturating_add(SIG_CHECK_UNITS);
-                let pause = loop {
-                    if demand_active {
-                        saved_cpu = Some(vm.cpu.clone());
-                    }
-                    let ev = match &vm.icache {
-                        Some(ic) => vm.cpu.step_cached(&mut vm.mem, ic),
-                        None => vm.cpu.step(&mut vm.mem, isa),
-                    };
-                    match ev {
-                        StepEvent::Executed { units } => {
-                            spent += units as u64;
+                let pause = if use_sb {
+                    // Run whole fused blocks up to the next visible
+                    // boundary (quantum end or signal poll). The engine
+                    // retires a block only when it fits the remaining
+                    // budget and single-steps otherwise, so the pause
+                    // lands on exactly the instruction the slot loop
+                    // would pause on — simtime and ktrace bit-identical.
+                    let boundary = quantum_units.min(checkpoint);
+                    let budget = boundary.saturating_sub(spent);
+                    let ic = vm.icache.as_ref().expect("use_sb implies icache");
+                    let (used, exit) = vm.cpu.step_superblock(&mut vm.mem, ic, budget);
+                    spent += used;
+                    sb_retired += used;
+                    match exit {
+                        m68vm::SbExit::Paused => {
                             if spent >= quantum_units {
-                                break Pause::Quantum;
-                            }
-                            if spent >= checkpoint {
-                                break Pause::SignalCheck;
+                                Pause::Quantum
+                            } else {
+                                Pause::SignalCheck
                             }
                         }
-                        other => break Pause::Event(other),
+                        // Block totals already include the trap's units
+                        // (counted in `used`), so the event carries 0.
+                        m68vm::SbExit::Trap { vector } => {
+                            Pause::Event(StepEvent::Trap { vector, units: 0 })
+                        }
+                        m68vm::SbExit::Faulted(f) => Pause::Event(StepEvent::Faulted(f)),
+                    }
+                } else {
+                    loop {
+                        if demand_active {
+                            saved_cpu = Some(vm.cpu.clone());
+                        }
+                        let ev = match &vm.icache {
+                            Some(ic) => vm.cpu.step_cached(&mut vm.mem, ic),
+                            None => vm.cpu.step(&mut vm.mem, isa),
+                        };
+                        match ev {
+                            StepEvent::Executed { units } => {
+                                spent += units as u64;
+                                if spent >= quantum_units {
+                                    break Pause::Quantum;
+                                }
+                                if spent >= checkpoint {
+                                    break Pause::SignalCheck;
+                                }
+                            }
+                            other => break Pause::Event(other),
+                        }
                     }
                 };
                 match pause {
@@ -1936,6 +1974,9 @@ impl World {
                                             retry: false,
                                             key,
                                         });
+                                    if sb_retired > 0 {
+                                        self.machines[mid].stats.sb_retired += sb_retired;
+                                    }
                                     return;
                                 }
                                 match dispatch(self, mid, pid, &sc) {
@@ -2010,6 +2051,9 @@ impl World {
                     }
                 }
             }
+        }
+        if sb_retired > 0 {
+            self.machines[mid].stats.sb_retired += sb_retired;
         }
         if spent > 0 {
             let cpu = SimDuration::micros(spent * self.config.cost.instr_us);

@@ -38,7 +38,18 @@ fn run_scenario() -> String {
 /// process back at the source; determinism is about the *trajectory*
 /// being identical, not about it being the happy path.
 fn run_scenario_with(faults: simnet::FaultPlan, require_success: bool) -> String {
-    let mut w = World::new(KernelConfig::paper());
+    run_scenario_cfg(KernelConfig::paper(), faults, require_success)
+}
+
+/// The same scenario under an explicit kernel configuration, for the
+/// host-accelerator toggles (superblocks) whose on/off runs must be
+/// bit-identical even mid-fault.
+fn run_scenario_cfg(
+    cfg: KernelConfig,
+    faults: simnet::FaultPlan,
+    require_success: bool,
+) -> String {
+    let mut w = World::new(cfg);
     w.faults = faults;
     let brick = w.add_machine("brick", IsaLevel::Isa1);
     let schooner = w.add_machine("schooner", IsaLevel::Isa1);
@@ -107,6 +118,38 @@ fn faulty_migrate_with_same_fault_seed_is_bit_identical() {
     assert_eq!(
         first, second,
         "two runs with the same fault seed diverged — injected faults must be deterministic"
+    );
+}
+
+/// Cross-toggle extension of the faulty contract: the same seeded
+/// fault plan with superblock translation on versus **off** must end
+/// in bit-identical worlds. Stronger than the dual-run test above —
+/// it pins the fused interpreter to the slot-by-slot trajectory even
+/// when injected faults interrupt dumps mid-flight, and it holds
+/// because every superblock pause, trap and fault lands on exactly
+/// the instruction the slot loop would have produced.
+#[test]
+fn faulty_migrate_is_bit_identical_with_superblocks_toggled() {
+    use simnet::{FaultPlan, FaultSite, FaultSpec};
+    let plan = || {
+        FaultPlan::seeded(0xDECAF)
+            .with(FaultSpec::always(FaultSite::MidDumpCrash, 1))
+            .with(FaultSpec::always(FaultSite::NfsOp, 2))
+    };
+    let cfg = |use_superblocks: bool| {
+        let mut c = KernelConfig::paper();
+        c.use_superblocks = use_superblocks;
+        c
+    };
+    let fused = run_scenario_cfg(cfg(true), plan(), false);
+    let slots = run_scenario_cfg(cfg(false), plan(), false);
+    assert!(
+        fused.contains(" fault "),
+        "injected faults must appear in the ktrace snapshot:\n{fused}"
+    );
+    assert_eq!(
+        fused, slots,
+        "superblock toggle changed a faulty trajectory — the fused path leaked into guest-visible state"
     );
 }
 
